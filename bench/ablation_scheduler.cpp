@@ -1,0 +1,83 @@
+// Ablation A — scheduling strategy (paper Sec. IV).
+//
+// The paper rejects pre-distributing shifts on a fixed grid: "it is
+// very likely that the work performed on some preallocated shifts will
+// be useless ... there is no potential for good scalability ... This
+// poor scalability was indeed verified experimentally."  This harness
+// reproduces that comparison: dynamic work-queue scheduling vs a static
+// uniform grid (plus the dynamic mop-up pass static needs to stay
+// correct), at several thread counts.
+//
+// Env knobs: PHES_BENCH_THREADS.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "phes/core/solver.hpp"
+#include "phes/macromodel/simo_realization.hpp"
+#include "phes/util/table.hpp"
+
+int main() {
+  using namespace phes;
+
+  const std::size_t max_threads = bench::bench_threads();
+
+  macromodel::SyntheticModelSpec spec;
+  spec.states = 1200;
+  spec.ports = 24;
+  spec.omega_min = 1.0;
+  spec.omega_max = 100.0;
+  spec.target_peak_gain = 1.15;
+  spec.seed = 77;
+  spec.gain_tuning_grid = 96;
+  const auto model = macromodel::make_synthetic_model(spec);
+  const macromodel::SimoRealization realization(model);
+  core::ParallelHamiltonianEigensolver solver(realization);
+
+  std::printf("Scheduler ablation: n = %zu, p = %zu\n\n",
+              realization.order(), realization.ports());
+
+  util::Table table({"threads", "scheduler", "time[s]", "speedup", "shifts",
+                     "eliminated", "Omega"});
+  std::vector<std::size_t> grid{1};
+  for (std::size_t t = 4; t <= max_threads; t *= 2) grid.push_back(t);
+  if (grid.back() != max_threads) grid.push_back(max_threads);
+
+  double tau1_dyn = 0.0, tau1_sta = 0.0;
+  for (std::size_t t : grid) {
+    for (const bool dynamic : {true, false}) {
+      core::SolverOptions opt;
+      opt.threads = t;
+      opt.seed = 9;
+      opt.scheduling = dynamic ? core::SchedulingMode::kDynamic
+                               : core::SchedulingMode::kStaticGrid;
+      const auto res = solver.solve(opt);
+      double& tau1 = dynamic ? tau1_dyn : tau1_sta;
+      if (t == 1) tau1 = res.seconds;
+      table.add_row({std::to_string(t), dynamic ? "dynamic" : "static",
+                     util::format_double(res.seconds, 3),
+                     util::format_double(tau1 > 0 ? tau1 / res.seconds : 1.0,
+                                         3),
+                     std::to_string(res.shifts_processed),
+                     std::to_string(res.shifts_eliminated),
+                     std::to_string(res.crossings.size())});
+      std::printf("t = %zu %s done (%.3f s)\n", t,
+                  dynamic ? "dynamic" : "static", res.seconds);
+    }
+  }
+
+  std::printf("\n");
+  table.print(std::cout);
+  std::printf(
+      "\nReading the result: the dynamic queue's advantage comes from "
+      "the cover rule eliminating tentative shifts (column\n"
+      "'eliminated') and from splitting only where certified disks "
+      "left gaps.  On spectra with uniform disk radii the static grid\n"
+      "can match or slightly beat it (no shifts to eliminate); on "
+      "crossing-rich / irregular spectra — the paper's regime — the\n"
+      "elimination fires and the dynamic queue processes strictly "
+      "fewer shifts (compare Table I runs, where 'elim' is nonzero).\n");
+  return 0;
+}

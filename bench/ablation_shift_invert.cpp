@@ -1,0 +1,119 @@
+// Ablation B — cost of one shift-and-invert application (paper Sec. III).
+//
+// The paper's enabling observation: via the Sherman-Morrison-Woodbury
+// form (Eq. 6) the operator (M - theta I)^{-1} applies in O(n p) on the
+// structured realization, vs O(n^2) for an explicit dense matvec and
+// O(n^3) for a dense factor-and-solve.  This google-benchmark harness
+// measures all three across n.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "phes/hamiltonian/dense.hpp"
+#include "phes/hamiltonian/implicit_op.hpp"
+#include "phes/hamiltonian/shift_invert.hpp"
+#include "phes/la/blas.hpp"
+#include "phes/la/lu.hpp"
+#include "phes/macromodel/generator.hpp"
+#include "phes/macromodel/simo_realization.hpp"
+#include "phes/util/rng.hpp"
+
+namespace {
+
+using namespace phes;
+
+struct Setup {
+  std::unique_ptr<macromodel::SimoRealization> realization;
+  la::ComplexVector x;
+
+  explicit Setup(std::size_t n) {
+    macromodel::SyntheticModelSpec spec;
+    spec.states = n;
+    spec.ports = 20;
+    spec.omega_min = 1.0;
+    spec.omega_max = 100.0;
+    spec.target_peak_gain = 1.05;
+    spec.seed = 5;
+    spec.gain_tuning_grid = 32;
+    const auto model = macromodel::make_synthetic_model(spec);
+    realization = std::make_unique<macromodel::SimoRealization>(model);
+    util::Rng rng(1);
+    x.resize(2 * n);
+    for (auto& v : x) v = la::Complex(rng.normal(), rng.normal());
+  }
+};
+
+Setup& setup_for(std::size_t n) {
+  static std::map<std::size_t, std::unique_ptr<Setup>> cache;
+  auto& slot = cache[n];
+  if (!slot) slot = std::make_unique<Setup>(n);
+  return *slot;
+}
+
+void BM_SmwShiftInvertApply(benchmark::State& state) {
+  Setup& s = setup_for(static_cast<std::size_t>(state.range(0)));
+  const hamiltonian::SmwShiftInvertOp op(*s.realization,
+                                         la::Complex(0.0, 10.0));
+  la::ComplexVector y(op.dim());
+  for (auto _ : state) {
+    op.apply(s.x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SmwShiftInvertApply)
+    ->Arg(250)->Arg(500)->Arg(1000)->Arg(2000)->Arg(4000)
+    ->Complexity(benchmark::oN);
+
+void BM_ImplicitHamiltonianMatvec(benchmark::State& state) {
+  Setup& s = setup_for(static_cast<std::size_t>(state.range(0)));
+  const hamiltonian::ImplicitHamiltonianOp op(*s.realization);
+  la::ComplexVector y(op.dim());
+  for (auto _ : state) {
+    op.apply(s.x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ImplicitHamiltonianMatvec)
+    ->Arg(250)->Arg(500)->Arg(1000)->Arg(2000)->Arg(4000)
+    ->Complexity(benchmark::oN);
+
+// Dense baseline: one LU factor + solve of (M - theta I).  O(n^3);
+// kept to n <= 500 so the harness stays fast.
+void BM_DenseLuFactorSolve(benchmark::State& state) {
+  Setup& s = setup_for(static_cast<std::size_t>(state.range(0)));
+  const la::RealMatrix m =
+      hamiltonian::build_scattering_hamiltonian(s.realization->to_dense());
+  la::ComplexMatrix shifted = la::to_complex(m);
+  for (std::size_t i = 0; i < shifted.rows(); ++i) {
+    shifted(i, i) -= la::Complex(0.0, 10.0);
+  }
+  for (auto _ : state) {
+    la::LuFactorization<la::Complex> lu(shifted);
+    auto y = lu.solve(s.x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DenseLuFactorSolve)->Arg(250)->Arg(500)
+    ->Complexity(benchmark::oNCubed);
+
+// Per-shift SMW setup (two transfer evaluations + 2p x 2p LU): the
+// amortized O(n p^2 + p^3) cost paid once per shift.
+void BM_SmwPerShiftSetup(benchmark::State& state) {
+  Setup& s = setup_for(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const hamiltonian::SmwShiftInvertOp op(*s.realization,
+                                           la::Complex(0.0, 10.0));
+    benchmark::DoNotOptimize(&op);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SmwPerShiftSetup)->Arg(250)->Arg(1000)->Arg(4000)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Microbenchmarks of the dense-kernel substrate on the shapes the
+// solver actually uses: the d x d complex Hessenberg eigensolver that
+// runs once per Arnoldi restart, the p x p singular value machinery the
+// passivity sampler calls per frequency point, and the 2p x 2p LU at
+// the heart of every SMW apply.
+
+#include <benchmark/benchmark.h>
+
+#include "phes/la/blas.hpp"
+#include "phes/la/eig.hpp"
+#include "phes/la/lu.hpp"
+#include "phes/la/schur.hpp"
+#include "phes/la/svd.hpp"
+#include "phes/util/rng.hpp"
+
+namespace {
+
+using namespace phes;
+
+la::ComplexMatrix random_complex(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  la::ComplexMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      m(i, j) = la::Complex(rng.normal(), rng.normal());
+    }
+  }
+  return m;
+}
+
+la::RealMatrix random_real(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  la::RealMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = rng.normal();
+  }
+  return m;
+}
+
+// Ritz problem: eigenpairs of the projected d x d Hessenberg matrix
+// (one per Arnoldi restart; d = 60 in the paper).
+void BM_HessenbergEigRitz(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  la::ComplexMatrix h = random_complex(d, 1);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j + 1 < i; ++j) h(i, j) = la::Complex{};
+  }
+  for (auto _ : state) {
+    auto eig = la::hessenberg_eig(h, true);
+    benchmark::DoNotOptimize(eig.values.data());
+  }
+}
+BENCHMARK(BM_HessenbergEigRitz)->Arg(30)->Arg(60)->Arg(90);
+
+// Passivity sampling kernel: singular values of a p x p complex matrix.
+void BM_ComplexSingularValues(benchmark::State& state) {
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  const la::ComplexMatrix h = random_complex(p, 2);
+  for (auto _ : state) {
+    auto sigma = la::complex_singular_values(h);
+    benchmark::DoNotOptimize(sigma.data());
+  }
+}
+BENCHMARK(BM_ComplexSingularValues)->Arg(18)->Arg(56)->Arg(83);
+
+// SMW kernel factorization: 2p x 2p complex LU (once per shift).
+void BM_ComplexLu2p(benchmark::State& state) {
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  const la::ComplexMatrix k = random_complex(2 * p, 3);
+  for (auto _ : state) {
+    la::LuFactorization<la::Complex> lu(k);
+    benchmark::DoNotOptimize(&lu);
+  }
+}
+BENCHMARK(BM_ComplexLu2p)->Arg(18)->Arg(56)->Arg(83);
+
+// Dense real Schur — the O(n^3) baseline's core cost.
+void BM_RealSchur(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const la::RealMatrix a = random_real(n, 4);
+  for (auto _ : state) {
+    auto ev = la::real_eigenvalues(a);
+    benchmark::DoNotOptimize(ev.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RealSchur)->Arg(100)->Arg(200)->Arg(400)
+    ->Complexity(benchmark::oNCubed);
+
+// gemm on residue-matrix shapes.
+void BM_Gemm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const la::RealMatrix a = random_real(n, 5);
+  const la::RealMatrix b = random_real(n, 6);
+  for (auto _ : state) {
+    auto c = la::gemm(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,136 @@
+// phes_cli — command-line driver for the full macromodeling workflow.
+//
+//   phes_cli fit <samples.txt> <poles-per-column> [iterations]
+//       Vector-fit tabulated samples, report fit error and stability.
+//   phes_cli check <samples.txt> <poles-per-column> [threads]
+//       Fit, then run the parallel Hamiltonian passivity test.
+//   phes_cli enforce <samples.txt> <poles-per-column> [threads]
+//       Fit, characterize, enforce passivity, verify, and report the
+//       Hankel bound on the model perturbation.
+//   phes_cli demo <path>
+//       Write a demo samples file (synthetic 4-port interconnect) to
+//       <path> so the other subcommands have something to chew on.
+//
+// Sample files use the phes-samples v1 text format (samples_io.hpp).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "phes/core/solver.hpp"
+#include "phes/macromodel/generator.hpp"
+#include "phes/macromodel/gramians.hpp"
+#include "phes/macromodel/samples.hpp"
+#include "phes/macromodel/samples_io.hpp"
+#include "phes/macromodel/simo_realization.hpp"
+#include "phes/passivity/characterization.hpp"
+#include "phes/passivity/enforcement.hpp"
+#include "phes/vf/vector_fitting.hpp"
+
+namespace {
+
+using namespace phes;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  phes_cli demo <path>\n"
+               "  phes_cli fit <samples.txt> <poles-per-column> [iters]\n"
+               "  phes_cli check <samples.txt> <poles-per-column> [threads]\n"
+               "  phes_cli enforce <samples.txt> <poles-per-column> "
+               "[threads]\n");
+  return 2;
+}
+
+vf::VectorFittingResult fit_file(const std::string& path,
+                                 std::size_t poles, std::size_t iters) {
+  const auto samples = macromodel::load_samples_file(path);
+  std::printf("loaded %zu samples, %zu ports\n", samples.count(),
+              samples.ports());
+  vf::VectorFittingOptions opt;
+  opt.num_poles = poles;
+  opt.iterations = iters;
+  auto fit = vf::vector_fit(samples, opt);
+  std::printf("fit: rms error %.3e, stable: %s, order %zu\n", fit.rms_error,
+              fit.model.is_stable() ? "yes" : "no", fit.model.order());
+  return fit;
+}
+
+int cmd_demo(const std::string& path) {
+  macromodel::SyntheticModelSpec spec;
+  spec.ports = 4;
+  spec.states = 48;
+  spec.omega_min = 1.0;
+  spec.omega_max = 40.0;
+  spec.target_peak_gain = 1.05;
+  spec.seed = 2011;
+  const auto model = macromodel::make_synthetic_model(spec);
+  const auto samples = macromodel::sample_model(model, 0.2, 120.0, 300);
+  macromodel::save_samples_file(samples, path);
+  std::printf("wrote %zu samples of a %zu-port response to %s\n",
+              samples.count(), samples.ports(), path.c_str());
+  return 0;
+}
+
+int cmd_check(const std::string& path, std::size_t poles,
+              std::size_t threads) {
+  const auto fit = fit_file(path, poles, 12);
+  const macromodel::SimoRealization realization(fit.model);
+  core::SolverOptions opt;
+  opt.threads = threads;
+  const auto report = passivity::characterize_passivity(realization, opt);
+  std::printf("passivity: %s (%.3f s, %zu shifts)\n",
+              report.passive ? "PASSIVE" : "NOT PASSIVE",
+              report.solver.seconds, report.solver.shifts_processed);
+  for (const auto& band : report.bands) {
+    std::printf("  violation [%.6g, %.6g] peak sigma %.6f at w=%.6g\n",
+                band.omega_lo, band.omega_hi, band.sigma_peak,
+                band.omega_peak);
+  }
+  return report.passive ? 0 : 1;
+}
+
+int cmd_enforce(const std::string& path, std::size_t poles,
+                std::size_t threads) {
+  const auto fit = fit_file(path, poles, 12);
+  macromodel::SimoRealization realization(fit.model);
+  const la::RealMatrix c_before = realization.c();
+
+  passivity::EnforcementOptions eopt;
+  eopt.solver.threads = threads;
+  const auto result = passivity::enforce_passivity(realization, eopt);
+  std::printf("enforcement: %s in %zu iterations\n",
+              result.success ? "SUCCESS" : "FAILED", result.iterations);
+  std::printf("relative residue change: %.3e\n",
+              result.relative_model_change);
+  std::printf("Hankel bound on ||H_new - H_old||_inf: %.3e\n",
+              macromodel::perturbation_hinf_bound(realization, c_before));
+  return result.success ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "demo") return cmd_demo(argv[2]);
+    if (argc < 4) return usage();
+    const std::size_t poles = std::strtoul(argv[3], nullptr, 10);
+    const std::size_t extra =
+        argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 0;
+    if (cmd == "fit") {
+      (void)fit_file(argv[2], poles, extra > 0 ? extra : 12);
+      return 0;
+    }
+    if (cmd == "check") return cmd_check(argv[2], poles, extra ? extra : 4);
+    if (cmd == "enforce") {
+      return cmd_enforce(argv[2], poles, extra ? extra : 4);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  }
+  return usage();
+}

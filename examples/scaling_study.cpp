@@ -1,0 +1,63 @@
+// Thread-scaling study on one macromodel: a miniature of the paper's
+// Fig. 6 protocol, printable in under a minute.
+//
+//   ./examples/scaling_study [states] [ports] [max_threads]
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "phes/core/solver.hpp"
+#include "phes/macromodel/generator.hpp"
+#include "phes/macromodel/simo_realization.hpp"
+#include "phes/util/stats.hpp"
+#include "phes/util/table.hpp"
+
+#include <iostream>
+
+int main(int argc, char** argv) {
+  using namespace phes;
+
+  const std::size_t states = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 800;
+  const std::size_t ports = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 16;
+  const std::size_t max_threads =
+      argc > 3 ? std::strtoul(argv[3], nullptr, 10)
+               : std::min<std::size_t>(std::thread::hardware_concurrency(), 16);
+
+  macromodel::SyntheticModelSpec spec;
+  spec.states = states;
+  spec.ports = ports;
+  spec.omega_min = 1.0;
+  spec.omega_max = 60.0;
+  spec.target_peak_gain = 1.08;
+  spec.seed = 5;
+  spec.gain_tuning_grid = 96;
+  const auto model = macromodel::make_synthetic_model(spec);
+  const macromodel::SimoRealization realization(model);
+  core::ParallelHamiltonianEigensolver solver(realization);
+
+  std::printf("model: n = %zu, p = %zu; sweeping 1..%zu threads\n\n",
+              realization.order(), realization.ports(), max_threads);
+
+  // Serial reference.
+  core::SolverOptions opt;
+  opt.threads = 1;
+  opt.seed = 17;
+  const auto serial = solver.solve(opt);
+  const double tau1 = serial.seconds;
+
+  util::Table table({"threads", "time [s]", "speedup", "shifts", "Omega"});
+  table.add_row({"1", util::format_double(tau1, 3), "1.000",
+                 std::to_string(serial.shifts_processed),
+                 std::to_string(serial.crossings.size())});
+  for (std::size_t t = 2; t <= max_threads; t *= 2) {
+    opt.threads = t;
+    const auto res = solver.solve(opt);
+    table.add_row({std::to_string(t), util::format_double(res.seconds, 3),
+                   util::format_double(tau1 / res.seconds, 3),
+                   std::to_string(res.shifts_processed),
+                   std::to_string(res.crossings.size())});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Vector Fitting workflow: fit a rational macromodel to tabulated
+// frequency samples (the paper's Sec. II pipeline), inspect the fit
+// quality, and screen the result for passivity.
+//
+//   ./examples/vector_fitting [ports] [states] [samples]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "phes/core/solver.hpp"
+#include "phes/macromodel/generator.hpp"
+#include "phes/macromodel/samples.hpp"
+#include "phes/macromodel/simo_realization.hpp"
+#include "phes/vf/vector_fitting.hpp"
+
+int main(int argc, char** argv) {
+  using namespace phes;
+
+  const std::size_t ports = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
+  const std::size_t states = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 48;
+  const std::size_t n_samples =
+      argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 400;
+
+  // Stand-in for full-wave solver output: sample a reference rational
+  // model on a log grid.  (With measured Touchstone data, fill a
+  // FrequencySamples directly.)
+  macromodel::SyntheticModelSpec spec;
+  spec.ports = ports;
+  spec.states = states;
+  spec.omega_min = 1.0;
+  spec.omega_max = 40.0;
+  spec.target_peak_gain = 1.04;  // slightly non-passive "measurement"
+  spec.seed = 7;
+  const auto reference = macromodel::make_synthetic_model(spec);
+  const auto samples = macromodel::sample_model(reference, 0.2, 120.0,
+                                                n_samples);
+  std::printf("data: %zu samples of a %zux%zu scattering matrix\n",
+              samples.count(), samples.ports(), samples.ports());
+
+  // Fit: one pole set per column (multi-SIMO), matching paper Eq. 2.
+  vf::VectorFittingOptions options;
+  options.num_poles = states / ports;
+  options.iterations = 12;
+  const auto fit = vf::vector_fit(samples, options);
+  std::printf("vector fitting: %zu poles/column, %zu relocation sweeps\n",
+              options.num_poles, fit.iterations_used);
+  std::printf("overall relative RMS fit error: %.3e\n", fit.rms_error);
+  for (std::size_t k = 0; k < fit.column_rms.size(); ++k) {
+    std::printf("  column %zu: rms %.3e, order %zu\n", k, fit.column_rms[k],
+                fit.model.columns()[k].order());
+  }
+  std::printf("fitted model stable: %s\n",
+              fit.model.is_stable() ? "yes" : "no");
+
+  // Passivity screen on the fitted model.
+  const macromodel::SimoRealization realization(fit.model);
+  core::ParallelHamiltonianEigensolver solver(realization);
+  core::SolverOptions sopt;
+  sopt.threads = 4;
+  const auto result = solver.solve(sopt);
+  std::printf("\npassivity: %s (%zu crossings, %.3f s)\n",
+              result.passive ? "PASSIVE" : "NOT passive",
+              result.crossings.size(), result.seconds);
+  for (double w : result.crossings) std::printf("  crossing at %.6f\n", w);
+  return 0;
+}

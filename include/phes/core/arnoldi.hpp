@@ -1,0 +1,61 @@
+#pragma once
+// Arnoldi process with deflation (paper Sec. III).
+//
+// Builds an orthonormal basis V_d of the Krylov subspace
+//   span{ v1, Op v1, ..., Op^{d-1} v1 }
+// by modified Gram-Schmidt with one reorthogonalization pass, while
+// keeping every basis vector orthogonal to a set of locked (previously
+// converged) Ritz vectors — the "incremental deflation" of [9].  The
+// Galerkin projection returns the (d+1) x d Hessenberg matrix whose
+// eigenpairs approximate the operator's dominant eigenpairs.
+
+#include <span>
+#include <vector>
+
+#include "phes/hamiltonian/operators.hpp"
+#include "phes/la/matrix.hpp"
+#include "phes/la/types.hpp"
+#include "phes/util/rng.hpp"
+
+namespace phes::core {
+
+using la::Complex;
+using la::ComplexMatrix;
+using la::ComplexVector;
+
+/// Output of one Arnoldi run.
+struct ArnoldiResult {
+  /// (steps+1) x dim basis, one orthonormal vector per ROW (contiguous
+  /// rows keep the Gram-Schmidt inner loops cache-friendly).
+  ComplexMatrix v_rows;
+  ComplexMatrix h;    ///< (steps+1) x steps Hessenberg projection
+  std::size_t steps = 0;  ///< completed steps (< d on lucky breakdown)
+  std::size_t matvecs = 0;
+};
+
+/// One approximate eigenpair extracted from the projection.
+struct RitzPair {
+  Complex value{};       ///< eigenvalue of the *operator* (e.g. mu)
+  double residual = 0.0; ///< ||Op x - mu x|| estimate
+  ComplexVector vector;  ///< Ritz vector in the full space (unit norm)
+};
+
+/// Run `d` Arnoldi steps from start vector v0 (need not be normalized).
+/// `locked` vectors are deflated: the basis is kept orthogonal to them.
+/// Throws std::invalid_argument on dimension mismatches.
+[[nodiscard]] ArnoldiResult arnoldi(
+    const hamiltonian::ComplexLinearOperator& op,
+    std::span<const Complex> v0, std::size_t d,
+    std::span<const ComplexVector> locked);
+
+/// Ritz pairs of an Arnoldi result, sorted by descending |value|
+/// (for shift-inverted operators this is ascending distance from the
+/// shift).  Residuals use the h(d+1,d) * |last component| bound.
+[[nodiscard]] std::vector<RitzPair> ritz_pairs(const ArnoldiResult& ar,
+                                               bool want_vectors);
+
+/// Random complex start vector of unit norm.
+[[nodiscard]] ComplexVector random_start_vector(std::size_t dim,
+                                                util::Rng& rng);
+
+}  // namespace phes::core

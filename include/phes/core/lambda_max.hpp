@@ -1,0 +1,24 @@
+#pragma once
+// Search-band upper bound (paper Sec. IV-A): omega_max is the magnitude
+// of the largest Hamiltonian eigenvalue, obtained with a plain Arnoldi
+// iteration on M itself (no shift-and-invert).
+
+#include <cstdint>
+
+#include "phes/macromodel/simo_realization.hpp"
+#include "phes/util/rng.hpp"
+
+namespace phes::core {
+
+struct LambdaMaxOptions {
+  std::size_t krylov_dim = 40;
+  std::size_t restarts = 3;
+  double safety_factor = 1.05;  ///< Ritz values underestimate |lambda|max
+};
+
+/// Estimate (a safe upper bound of) the Hamiltonian spectral radius.
+[[nodiscard]] double estimate_lambda_max(
+    const macromodel::SimoRealization& realization,
+    const LambdaMaxOptions& options, util::Rng& rng);
+
+}  // namespace phes::core

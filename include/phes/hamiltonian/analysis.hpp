@@ -1,0 +1,27 @@
+#pragma once
+// Spectrum post-processing helpers for Hamiltonian eigensolutions.
+
+#include <vector>
+
+#include "phes/la/types.hpp"
+
+namespace phes::hamiltonian {
+
+using la::Complex;
+using la::ComplexVector;
+using la::RealVector;
+
+/// Extracts the sorted positive frequencies w of (numerically) purely
+/// imaginary eigenvalues lambda = j*w from a spectrum.  An eigenvalue
+/// counts as imaginary when |Re| <= tol_rel * max(|lambda|, scale).
+/// The +-j*w pair contributes a single entry; near-duplicates within
+/// tol_rel * scale collapse to one.
+[[nodiscard]] RealVector extract_imaginary_frequencies(
+    const ComplexVector& spectrum, double tol_rel, double scale);
+
+/// True when for every lambda in the spectrum, -conj(lambda) is also
+/// present (to tolerance) — the Hamiltonian quadruple symmetry.
+[[nodiscard]] bool has_hamiltonian_symmetry(const ComplexVector& spectrum,
+                                            double tol);
+
+}  // namespace phes::hamiltonian

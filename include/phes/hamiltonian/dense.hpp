@@ -1,0 +1,41 @@
+#pragma once
+// Dense Hamiltonian matrix construction (paper Eq. 5).
+//
+// For a scattering macromodel H(s) = D + C (sI-A)^{-1} B with
+// sigma_max(D) < 1, the 2n x 2n Hamiltonian
+//
+//   M = [ A - B R^{-1} D^T C        -B R^{-1} B^T
+//         C^T S^{-1} C              -A^T + C^T D R^{-1} B^T ],
+//   R = D^T D - I,   S = D D^T - I
+//
+// has a purely imaginary eigenvalue j*w exactly where some singular
+// value of H(jw) touches 1.  The dense form is O(n^2) storage and is
+// used for baselines and cross-validation; the solver itself only ever
+// applies M implicitly.
+
+#include "phes/la/matrix.hpp"
+#include "phes/la/types.hpp"
+#include "phes/macromodel/statespace.hpp"
+
+namespace phes::hamiltonian {
+
+using la::Complex;
+using la::ComplexVector;
+using la::RealMatrix;
+
+/// Assemble the scattering Hamiltonian.  Throws std::invalid_argument
+/// if sigma_max(D) >= 1 (R/S would be singular; the paper assumes
+/// strict asymptotic passivity, Eq. 4).
+[[nodiscard]] RealMatrix build_scattering_hamiltonian(
+    const macromodel::StateSpaceModel& model);
+
+/// Assemble the immittance (admittance/impedance) Hamiltonian
+///   M = [ A - B Q^{-1} C   -B Q^{-1} B^T
+///         C^T Q^{-1} C     -A^T + C^T Q^{-1} B^T ],  Q = D + D^T,
+/// whose imaginary eigenvalues mark eigenvalue-of-Re{H} zero crossings.
+/// Throws if Q is singular.  (Paper Sec. II: "the same derivations can
+/// be performed for the impedance, admittance, and hybrid cases".)
+[[nodiscard]] RealMatrix build_immittance_hamiltonian(
+    const macromodel::StateSpaceModel& model);
+
+}  // namespace phes::hamiltonian

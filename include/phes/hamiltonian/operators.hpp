@@ -1,0 +1,29 @@
+#pragma once
+// Implicit linear operators on C^{2n} — the only interface the Krylov
+// eigensolver needs.  Implementations exploit the SIMO structure so no
+// 2n x 2n matrix is ever formed.
+
+#include <cstddef>
+#include <span>
+
+#include "phes/la/types.hpp"
+
+namespace phes::hamiltonian {
+
+using la::Complex;
+
+/// y = Op(x) for complex vectors.  Implementations must be safe to call
+/// concurrently from multiple threads (const apply, no shared mutable
+/// state) — the parallel scheduler runs one operator per shift but
+/// shares the underlying realization.
+class ComplexLinearOperator {
+ public:
+  virtual ~ComplexLinearOperator() = default;
+
+  [[nodiscard]] virtual std::size_t dim() const noexcept = 0;
+
+  virtual void apply(std::span<const Complex> x,
+                     std::span<Complex> y) const = 0;
+};
+
+}  // namespace phes::hamiltonian

@@ -1,0 +1,171 @@
+#pragma once
+// BLAS-like dense kernels (level 1-3) over Matrix<T> and std::vector<T>.
+//
+// Plain loops, cache-aware ikj ordering for gemm; OpenMP parallelizes the
+// outer loop when the product is large enough to amortize fork/join.
+
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "phes/la/matrix.hpp"
+#include "phes/la/types.hpp"
+#include "phes/util/check.hpp"
+
+namespace phes::la {
+
+namespace detail {
+/// Squared modulus that works for both real and complex scalars.
+inline double abs_sq(double x) noexcept { return x * x; }
+inline double abs_sq(const Complex& x) noexcept { return std::norm(x); }
+/// Conjugation helper: identity for reals.
+inline double conj_of(double x) noexcept { return x; }
+inline Complex conj_of(const Complex& x) noexcept { return std::conj(x); }
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Level 1: vector kernels
+// ---------------------------------------------------------------------------
+
+/// y += alpha * x
+template <typename T>
+void axpy(T alpha, std::span<const T> x, std::span<T> y) {
+  util::check(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+/// x *= alpha
+template <typename T>
+void scal(T alpha, std::span<T> x) noexcept {
+  for (auto& v : x) v *= alpha;
+}
+
+/// Euclidean inner product; conjugates the first argument for complex
+/// scalars (i.e. x^H y), matching BLAS dotc.
+template <typename T>
+[[nodiscard]] T dot(std::span<const T> x, std::span<const T> y) {
+  util::check(x.size() == y.size(), "dot: size mismatch");
+  T acc{};
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += detail::conj_of(x[i]) * y[i];
+  }
+  return acc;
+}
+
+/// Euclidean norm.
+template <typename T>
+[[nodiscard]] double nrm2(std::span<const T> x) noexcept {
+  double acc = 0.0;
+  for (const auto& v : x) acc += detail::abs_sq(v);
+  return std::sqrt(acc);
+}
+
+/// Infinity norm of a vector.
+template <typename T>
+[[nodiscard]] double inf_norm(std::span<const T> x) noexcept {
+  double m = 0.0;
+  for (const auto& v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Level 2: matrix-vector products
+// ---------------------------------------------------------------------------
+
+/// y = A x
+template <typename T>
+[[nodiscard]] std::vector<T> gemv(const Matrix<T>& a,
+                                  std::span<const T> x) {
+  util::check(a.cols() == x.size(), "gemv: shape mismatch");
+  std::vector<T> y(a.rows(), T{});
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const T* row = a.row_ptr(i);
+    T acc{};
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+/// y = A^T x (real) — column-oriented traversal of the row-major store.
+template <typename T>
+[[nodiscard]] std::vector<T> gemv_transposed(const Matrix<T>& a,
+                                             std::span<const T> x) {
+  util::check(a.rows() == x.size(), "gemv_transposed: shape mismatch");
+  std::vector<T> y(a.cols(), T{});
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const T* row = a.row_ptr(i);
+    const T xi = x[i];
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += row[j] * xi;
+  }
+  return y;
+}
+
+/// Mixed-precision convenience: y = A x with real A and complex x.
+[[nodiscard]] ComplexVector gemv_real_complex(const RealMatrix& a,
+                                              std::span<const Complex> x);
+
+/// y = A^T x with real A and complex x.
+[[nodiscard]] ComplexVector gemv_transposed_real_complex(
+    const RealMatrix& a, std::span<const Complex> x);
+
+// ---------------------------------------------------------------------------
+// Level 3: matrix-matrix products
+// ---------------------------------------------------------------------------
+
+/// C = A B
+template <typename T>
+[[nodiscard]] Matrix<T> gemm(const Matrix<T>& a, const Matrix<T>& b) {
+  util::check(a.cols() == b.rows(), "gemm: shape mismatch");
+  Matrix<T> c(a.rows(), b.cols());
+  gemm_into(a, b, c);
+  return c;
+}
+
+/// C = A B written into a preallocated result (ikj loop order).
+template <typename T>
+void gemm_into(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c) {
+  util::check(a.cols() == b.rows() && c.rows() == a.rows() &&
+                  c.cols() == b.cols(),
+              "gemm_into: shape mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+#pragma omp parallel for schedule(static) if (m * n * k > 1u << 20)
+  for (std::size_t i = 0; i < m; ++i) {
+    T* ci = c.row_ptr(i);
+    for (std::size_t j = 0; j < n; ++j) ci[j] = T{};
+    const T* ai = a.row_ptr(i);
+    for (std::size_t l = 0; l < k; ++l) {
+      const T ail = ai[l];
+      const T* bl = b.row_ptr(l);
+      for (std::size_t j = 0; j < n; ++j) ci[j] += ail * bl[j];
+    }
+  }
+}
+
+/// Frobenius norm.
+template <typename T>
+[[nodiscard]] double frobenius_norm(const Matrix<T>& a) noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      acc += detail::abs_sq(a(i, j));
+    }
+  }
+  return std::sqrt(acc);
+}
+
+/// Max absolute entry.
+template <typename T>
+[[nodiscard]] double max_abs(const Matrix<T>& a) noexcept {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      m = std::max(m, std::abs(a(i, j)));
+    }
+  }
+  return m;
+}
+
+}  // namespace phes::la

@@ -1,0 +1,24 @@
+#pragma once
+// Householder reduction to upper Hessenberg form (real and complex).
+
+#include "phes/la/matrix.hpp"
+#include "phes/la/types.hpp"
+
+namespace phes::la {
+
+/// Result of a Hessenberg reduction A = Q H Q^T (or Q^H for complex).
+template <typename T>
+struct HessenbergResult {
+  Matrix<T> h;  ///< upper Hessenberg
+  Matrix<T> q;  ///< orthogonal/unitary accumulator (empty if not requested)
+};
+
+/// Reduce a real square matrix to Hessenberg form.
+[[nodiscard]] HessenbergResult<Real> hessenberg_reduce(RealMatrix a,
+                                                       bool accumulate_q);
+
+/// Reduce a complex square matrix to Hessenberg form.
+[[nodiscard]] HessenbergResult<Complex> hessenberg_reduce(
+    ComplexMatrix a, bool accumulate_q);
+
+}  // namespace phes::la

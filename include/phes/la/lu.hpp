@@ -1,0 +1,129 @@
+#pragma once
+// LU factorization with partial pivoting, for real and complex square
+// matrices.  Used for: dense (M - theta I) reference solves in tests,
+// the 2p x 2p Sherman-Morrison-Woodbury kernel, and R/S = D^T D - I
+// solves when assembling the Hamiltonian.
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "phes/la/matrix.hpp"
+#include "phes/la/types.hpp"
+#include "phes/util/check.hpp"
+
+namespace phes::la {
+
+/// PA = LU factorization holder; solves via forward/back substitution.
+template <typename T>
+class LuFactorization {
+ public:
+  /// Factor a square matrix.  Throws std::runtime_error on exact
+  /// singularity (zero pivot column).
+  explicit LuFactorization(Matrix<T> a) : lu_(std::move(a)) {
+    util::check(lu_.is_square(), "LuFactorization: matrix must be square");
+    const std::size_t n = lu_.rows();
+    perm_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+    for (std::size_t k = 0; k < n; ++k) {
+      // Partial pivoting: largest |entry| in column k at or below row k.
+      std::size_t piv = k;
+      double best = std::abs(lu_(k, k));
+      for (std::size_t i = k + 1; i < n; ++i) {
+        const double v = std::abs(lu_(i, k));
+        if (v > best) {
+          best = v;
+          piv = i;
+        }
+      }
+      util::require(best > 0.0, "LuFactorization: singular matrix");
+      if (piv != k) {
+        for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(piv, j));
+        std::swap(perm_[k], perm_[piv]);
+        sign_ = -sign_;
+      }
+      const T pivot = lu_(k, k);
+      for (std::size_t i = k + 1; i < n; ++i) {
+        const T factor = lu_(i, k) / pivot;
+        lu_(i, k) = factor;
+        if (factor != T{}) {
+          const T* rk = lu_.row_ptr(k);
+          T* ri = lu_.row_ptr(i);
+          for (std::size_t j = k + 1; j < n; ++j) ri[j] -= factor * rk[j];
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t order() const noexcept { return lu_.rows(); }
+
+  /// Solve A x = b.
+  [[nodiscard]] std::vector<T> solve(const std::vector<T>& b) const {
+    util::check(b.size() == order(), "LuFactorization::solve: size mismatch");
+    const std::size_t n = order();
+    std::vector<T> x(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+    // Forward substitution with unit-diagonal L.
+    for (std::size_t i = 1; i < n; ++i) {
+      T acc = x[i];
+      const T* row = lu_.row_ptr(i);
+      for (std::size_t j = 0; j < i; ++j) acc -= row[j] * x[j];
+      x[i] = acc;
+    }
+    // Back substitution with U.
+    for (std::size_t ii = n; ii-- > 0;) {
+      T acc = x[ii];
+      const T* row = lu_.row_ptr(ii);
+      for (std::size_t j = ii + 1; j < n; ++j) acc -= row[j] * x[j];
+      x[ii] = acc / row[ii];
+    }
+    return x;
+  }
+
+  /// Solve A X = B column by column.
+  [[nodiscard]] Matrix<T> solve(const Matrix<T>& b) const {
+    util::check(b.rows() == order(), "LuFactorization::solve: shape mismatch");
+    Matrix<T> x(b.rows(), b.cols());
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      x.set_col(j, solve(b.col(j)));
+    }
+    return x;
+  }
+
+  /// Determinant (product of pivots times permutation sign).
+  [[nodiscard]] T determinant() const {
+    T det = static_cast<T>(sign_);
+    for (std::size_t i = 0; i < order(); ++i) det *= lu_(i, i);
+    return det;
+  }
+
+  /// Smallest pivot magnitude — a cheap conditioning indicator.
+  [[nodiscard]] double min_pivot_magnitude() const noexcept {
+    double m = std::abs(lu_(0, 0));
+    for (std::size_t i = 1; i < order(); ++i) {
+      m = std::min(m, std::abs(lu_(i, i)));
+    }
+    return m;
+  }
+
+ private:
+  Matrix<T> lu_;
+  std::vector<std::size_t> perm_;
+  int sign_ = 1;
+};
+
+/// Convenience one-shot solve: x = A^{-1} b.
+template <typename T>
+[[nodiscard]] std::vector<T> lu_solve(Matrix<T> a, const std::vector<T>& b) {
+  return LuFactorization<T>(std::move(a)).solve(b);
+}
+
+/// Dense inverse via LU (used only for small p x p matrices).
+template <typename T>
+[[nodiscard]] Matrix<T> lu_inverse(Matrix<T> a) {
+  const std::size_t n = a.rows();
+  return LuFactorization<T>(std::move(a)).solve(Matrix<T>::identity(n));
+}
+
+}  // namespace phes::la

@@ -1,0 +1,19 @@
+#pragma once
+// Continuous-time Lyapunov solver  A X + X A^T + Q = 0  via
+// Bartels-Stewart on the real Schur form (the classic algorithm; our
+// Francis QR provides the Schur factor).  Used by the gramian /
+// Hankel-norm machinery that quantifies how much passivity enforcement
+// perturbed a macromodel.
+
+#include "phes/la/matrix.hpp"
+#include "phes/la/types.hpp"
+
+namespace phes::la {
+
+/// Solve A X + X A^T + Q = 0 for X.  Requires the spectra of A and -A^T
+/// to be disjoint (guaranteed when A is strictly stable).  Throws
+/// std::runtime_error when the Sylvester blocks are singular.
+[[nodiscard]] RealMatrix solve_lyapunov(const RealMatrix& a,
+                                        const RealMatrix& q);
+
+}  // namespace phes::la

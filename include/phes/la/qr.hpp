@@ -1,0 +1,46 @@
+#pragma once
+// Householder QR factorization and least-squares solving (real).
+//
+// Consumers: Vector Fitting's overdetermined pole-relocation systems and
+// the passivity-enforcement least-squares updates.
+
+#include <cstddef>
+#include <vector>
+
+#include "phes/la/matrix.hpp"
+#include "phes/la/types.hpp"
+
+namespace phes::la {
+
+/// Compact Householder QR of an m x n real matrix, m >= n.
+class QrFactorization {
+ public:
+  /// Factors A in place.  Throws std::invalid_argument if m < n.
+  explicit QrFactorization(RealMatrix a);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return qr_.rows(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return qr_.cols(); }
+
+  /// Minimum-residual solution of min ||A x - b||_2 (x has n entries).
+  [[nodiscard]] RealVector solve(RealVector b) const;
+
+  /// Explicit thin Q (m x n) — mainly for tests.
+  [[nodiscard]] RealMatrix thin_q() const;
+
+  /// Explicit R (n x n upper triangular).
+  [[nodiscard]] RealMatrix r() const;
+
+  /// |R(i,i)| minimum — rank-deficiency indicator.
+  [[nodiscard]] double min_diag_r() const noexcept;
+
+ private:
+  void apply_qt(RealVector& b) const;  // b <- Q^T b
+
+  RealMatrix qr_;           // R in the upper triangle, reflectors below
+  RealVector tau_;          // reflector scalars
+};
+
+/// One-shot least squares: argmin_x ||A x - b||_2.
+[[nodiscard]] RealVector least_squares(RealMatrix a, RealVector b);
+
+}  // namespace phes::la

@@ -1,0 +1,32 @@
+#pragma once
+// Real Schur decomposition via the Francis implicit double-shift QR
+// algorithm.  This is the full-spectrum dense baseline the paper's
+// Sec. III dismisses as O(n^3): we implement it both to cross-validate
+// the selective Krylov solver and to regenerate the scaling ablation.
+
+#include <vector>
+
+#include "phes/la/matrix.hpp"
+#include "phes/la/types.hpp"
+
+namespace phes::la {
+
+/// A = Q T Q^T with T quasi-upper-triangular (1x1 / 2x2 diagonal blocks).
+struct RealSchurResult {
+  RealMatrix t;                   ///< quasi-triangular factor
+  RealMatrix q;                   ///< orthogonal factor (empty if skipped)
+  ComplexVector eigenvalues;      ///< all n eigenvalues
+};
+
+/// Compute the real Schur form.  Throws std::runtime_error if the QR
+/// iteration fails to converge (pathological; not observed in practice).
+[[nodiscard]] RealSchurResult real_schur(RealMatrix a, bool accumulate_q);
+
+/// Eigenvalues only (Hessenberg + Francis QR without Q accumulation).
+[[nodiscard]] ComplexVector real_eigenvalues(RealMatrix a);
+
+/// Eigenvalues of a quasi-upper-triangular matrix (helper, exposed for
+/// tests).
+[[nodiscard]] ComplexVector quasi_triangular_eigenvalues(const RealMatrix& t);
+
+}  // namespace phes::la

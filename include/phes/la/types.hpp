@@ -1,0 +1,18 @@
+#pragma once
+// Scalar and container aliases used across the library.
+
+#include <complex>
+#include <vector>
+
+namespace phes::la {
+
+using Real = double;
+using Complex = std::complex<double>;
+
+using RealVector = std::vector<Real>;
+using ComplexVector = std::vector<Complex>;
+
+/// Machine epsilon for Real.
+inline constexpr Real kEps = 2.220446049250313e-16;
+
+}  // namespace phes::la

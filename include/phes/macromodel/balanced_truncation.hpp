@@ -1,0 +1,40 @@
+#pragma once
+// Balanced-truncation model order reduction (Moore / Glover) on top of
+// the gramian machinery — the step that produces the "reduced-order
+// macromodels" of the paper's opening sentence when a first-principles
+// model is too large.
+//
+// Square-root algorithm:
+//   P = Lp Lp^T, Q = Lq Lq^T        (gramian factors)
+//   Lq^T Lp = U S V^T               (SVD; S = Hankel singular values)
+//   T  = Lp V S^{-1/2},  Tinv = S^{-1/2} U^T Lq^T
+//   (A, B, C) -> (Tinv A T, Tinv B, C T), keep the leading k states.
+//
+// The classic twice-sum error bound applies:
+//   ||H - H_k||_inf <= 2 * sum_{i>k} sigma_H,i.
+
+#include <cstddef>
+
+#include "phes/macromodel/statespace.hpp"
+
+namespace phes::macromodel {
+
+struct ReductionResult {
+  StateSpaceModel reduced;      ///< k-state balanced truncation
+  la::RealVector hankel_sv;     ///< full-order HSVs, descending
+  double error_bound = 0.0;     ///< 2 * sum of discarded HSVs
+};
+
+/// Reduce a stable model to `target_order` states.  Throws
+/// std::invalid_argument for target_order == 0 or >= current order, and
+/// std::runtime_error when the gramian factors are numerically rank
+/// deficient below the requested order.
+[[nodiscard]] ReductionResult balanced_truncation(
+    const StateSpaceModel& model, std::size_t target_order);
+
+/// Smallest order whose twice-sum bound is below `tolerance` (absolute,
+/// in transfer-function units).
+[[nodiscard]] std::size_t order_for_tolerance(const la::RealVector& hsv,
+                                              double tolerance);
+
+}  // namespace phes::macromodel

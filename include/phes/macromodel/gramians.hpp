@@ -1,0 +1,46 @@
+#pragma once
+// Gramian-based model metrics: controllability/observability gramians,
+// Hankel singular values, and the Hankel-norm bound on the transfer
+// perturbation introduced by passivity enforcement.
+//
+// For a stable model {A, B, C, D}:
+//   A P + P A^T + B B^T = 0,    A^T Q + Q A + C^T C = 0,
+//   sigma_H,i = sqrt(lambda_i(P Q)),
+//   ||H||_inf <= 2 * sum_i sigma_H,i   (twice-sum Hankel bound).
+//
+// Enforcement perturbs only C (DeltaC), so the error system is
+// {A, B, DeltaC, 0} and the bound applies to ||H_new - H_old||_inf
+// directly — an a-posteriori certificate of model fidelity.
+
+#include "phes/la/matrix.hpp"
+#include "phes/la/types.hpp"
+#include "phes/macromodel/simo_realization.hpp"
+#include "phes/macromodel/statespace.hpp"
+
+namespace phes::macromodel {
+
+/// Controllability gramian P (solves A P + P A^T + B B^T = 0).
+[[nodiscard]] la::RealMatrix controllability_gramian(
+    const StateSpaceModel& model);
+
+/// Observability gramian Q (solves A^T Q + Q A + C^T C = 0).
+[[nodiscard]] la::RealMatrix observability_gramian(
+    const StateSpaceModel& model);
+
+/// Hankel singular values, descending (sqrt of eig(P Q), clamped at 0).
+[[nodiscard]] la::RealVector hankel_singular_values(
+    const StateSpaceModel& model);
+
+/// Largest Hankel singular value (lower bound on ||H - D||_inf).
+[[nodiscard]] double hankel_norm(const StateSpaceModel& model);
+
+/// Upper bound  ||H||_inf <= 2 * sum sigma_H  (twice-sum rule).
+[[nodiscard]] double hinf_upper_bound(const StateSpaceModel& model);
+
+/// A-posteriori fidelity certificate for passivity enforcement: bound
+/// on ||H_after - H_before||_inf from the residue perturbation
+/// DeltaC = realization.c() - c_before (same A, B; D untouched).
+[[nodiscard]] double perturbation_hinf_bound(
+    const SimoRealization& realization, const la::RealMatrix& c_before);
+
+}  // namespace phes::macromodel

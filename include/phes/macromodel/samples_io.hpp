@@ -1,0 +1,33 @@
+#pragma once
+// Plain-text persistence for tabulated frequency responses — the
+// interchange format between a field solver / VNA export and the
+// Vector Fitting front end.  Format (self-describing header):
+//
+//   # phes-samples v1
+//   ports <p>
+//   points <K>
+//   omega <w>            (repeated K times, each followed by p*p pairs)
+//   <Re H(0,0)> <Im H(0,0)>  ... row-major ...
+//
+// Lines starting with '#' are comments.  All values are %.17g doubles.
+
+#include <iosfwd>
+#include <string>
+
+#include "phes/macromodel/samples.hpp"
+
+namespace phes::macromodel {
+
+/// Serialize samples to a stream.  Throws on inconsistent input.
+void save_samples(const FrequencySamples& samples, std::ostream& os);
+
+/// Parse samples from a stream.  Throws std::runtime_error on malformed
+/// content.
+[[nodiscard]] FrequencySamples load_samples(std::istream& is);
+
+/// File-path convenience wrappers.
+void save_samples_file(const FrequencySamples& samples,
+                       const std::string& path);
+[[nodiscard]] FrequencySamples load_samples_file(const std::string& path);
+
+}  // namespace phes::macromodel

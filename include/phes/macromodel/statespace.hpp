@@ -1,0 +1,36 @@
+#pragma once
+// Dense state-space model {A, B, C, D} — the generic realization of
+// paper Eq. 1.  Used as the reference implementation the structured
+// SIMO realization is validated against, and as the input format of the
+// dense Hamiltonian builder.
+
+#include "phes/la/matrix.hpp"
+#include "phes/la/types.hpp"
+
+namespace phes::macromodel {
+
+using la::Complex;
+using la::ComplexMatrix;
+using la::RealMatrix;
+
+/// H(s) = D + C (sI - A)^{-1} B with real matrices.
+struct StateSpaceModel {
+  RealMatrix a;  ///< n x n
+  RealMatrix b;  ///< n x p
+  RealMatrix c;  ///< p x n
+  RealMatrix d;  ///< p x p
+
+  [[nodiscard]] std::size_t order() const noexcept { return a.rows(); }
+  [[nodiscard]] std::size_t ports() const noexcept { return d.rows(); }
+
+  /// Validates the shape contract; throws std::invalid_argument.
+  void check_shapes() const;
+
+  /// Evaluate H(s) by dense LU solve.  O(n^3); reference only.
+  [[nodiscard]] ComplexMatrix eval(Complex s) const;
+  [[nodiscard]] ComplexMatrix eval(double omega) const {
+    return eval(Complex(0.0, omega));
+  }
+};
+
+}  // namespace phes::macromodel

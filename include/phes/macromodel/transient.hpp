@@ -1,0 +1,94 @@
+#pragma once
+// Time-domain co-simulation of a scattering macromodel terminated by
+// resistive loads — the experiment behind the paper's motivation:
+// "Non-passive macromodels do not guarantee the global stability of
+// transient simulations, due to their ability to amplify the energy
+// they are fed with" (Sec. I).
+//
+// The macromodel is the scattering relation b = H(s) a between incident
+// waves a and reflected waves b (reference impedance Z0).  Terminating
+// every port with a resistor R_k and source e_k closes the loop:
+//
+//   a = Gamma b + c,   Gamma = diag((R_k - Z0)/(R_k + Z0)),
+//                      c_k   = e_k * sqrt(Z0) / (R_k + Z0) * ...
+//
+// (the exact source scaling is irrelevant for the stability question;
+// we drive with a unit incident-wave pulse).  With H in state-space
+// form the closed loop is
+//
+//   dx/dt = A x + B a,   b = C x + D a,   a = Gamma b + c
+//   =>  dx/dt = (A + B Gamma K C) x + B (I + Gamma K D - ...) ...
+//
+// solved here by the trapezoidal rule (the integrator SPICE-class
+// solvers use), which is A-stable: any blow-up observed is a property
+// of the model, not of the integrator.  A passive model terminated by
+// passive loads can only dissipate the injected energy; a non-passive
+// model can amplify it, and for |Gamma| close to 1 the closed loop has
+// right-half-plane poles.
+
+#include <cstddef>
+
+#include "phes/la/types.hpp"
+#include "phes/macromodel/simo_realization.hpp"
+
+namespace phes::macromodel {
+
+struct TransientOptions {
+  double dt = 1e-3;            ///< time step (in the model's time units)
+  std::size_t steps = 20000;   ///< number of trapezoidal steps
+  /// Reflection coefficient of every termination (|gamma| <= 1 is a
+  /// passive load; gamma = -1 is a short, 0 a match, +1 an open).
+  double termination_gamma = -0.95;
+  /// Optional per-port reflection coefficients; overrides
+  /// termination_gamma when non-empty (size p, each |gamma_k| <= 1).
+  la::RealVector termination_gammas;
+  /// Width of the raised-cosine incident pulse on port 0.
+  double pulse_width = 1.0;
+  /// Declare blow-up when the state norm exceeds this multiple of the
+  /// peak norm observed during the pulse.
+  double blowup_factor = 1e6;
+};
+
+struct TransientResult {
+  bool blew_up = false;      ///< state norm exceeded the blow-up bound
+  double peak_state_norm = 0.0;
+  double final_state_norm = 0.0;
+  /// Total incident / reflected wave energy at the ports (trapezoidal
+  /// accumulation of |a|^2 and |b|^2); a passive model in a passive
+  /// termination cannot sustain reflected_energy > incident_energy.
+  double incident_energy = 0.0;
+  double reflected_energy = 0.0;
+  std::size_t steps_run = 0;
+};
+
+/// Simulate the resistively-terminated macromodel driven by one pulse.
+/// O(steps * n * p) using the structured realization.
+[[nodiscard]] TransientResult simulate_terminated(
+    const SimoRealization& realization, const TransientOptions& options);
+
+/// Open-loop (matched termination) energy-gain measurement: drive the
+/// incident waves with a windowed sinusoid a(t) = Re(v e^{jwt}) and
+/// integrate reflected vs incident energy.  For v equal to the right
+/// singular vector of H(jw) the measured gain converges (long windows)
+/// to sigma(H(jw))^2 — the time-domain face of the frequency-domain
+/// passivity test, used to cross-validate the Hamiltonian
+/// characterization.
+struct EnergyGainOptions {
+  double omega = 1.0;              ///< drive frequency (rad/s)
+  la::ComplexVector port_vector;   ///< complex p-vector (defaults e_0)
+  std::size_t cycles = 200;        ///< sinusoid cycles to integrate
+  std::size_t steps_per_cycle = 64;
+  double ramp_fraction = 0.1;      ///< raised-cosine turn-on fraction
+};
+
+struct EnergyGainResult {
+  double incident_energy = 0.0;
+  double reflected_energy = 0.0;
+  /// reflected / incident — compare with sigma(H(jw))^2.
+  double gain = 0.0;
+};
+
+[[nodiscard]] EnergyGainResult measure_energy_gain(
+    const SimoRealization& realization, const EnergyGainOptions& options);
+
+}  // namespace phes::macromodel

@@ -1,0 +1,64 @@
+#pragma once
+// Passivity enforcement by iterative first-order singular-value
+// perturbation of the residue matrix C (the standard scheme of
+// [8], [9], [17], which the paper's title refers to and whose inner
+// loop is exactly what the fast parallel characterization accelerates).
+//
+// Each iteration:
+//  1. characterize: run the Hamiltonian eigensolver -> crossings ->
+//     violation bands with their peaks;
+//  2. linearize: at each constraint frequency w*, for each singular
+//     value sigma_i > 1 with triplet (u_i, sigma_i, v_i),
+//       delta sigma_i = Re( u_i^H  DeltaC  Phi(j w*) v_i ),
+//     Phi(s) = (sI - A)^{-1} B, which is linear in DeltaC;
+//  3. correct: the minimum-Frobenius-norm DeltaC driving each violating
+//     sigma_i to 1 - margin solves a small dual Gram system;
+//  4. apply DeltaC to the realization (poles untouched: stability is
+//     preserved by construction) and repeat until the Hamiltonian test
+//     reports no imaginary eigenvalues.
+
+#include <cstddef>
+#include <vector>
+
+#include "phes/core/solver.hpp"
+#include "phes/macromodel/simo_realization.hpp"
+#include "phes/passivity/characterization.hpp"
+
+namespace phes::passivity {
+
+struct EnforcementOptions {
+  std::size_t max_iterations = 25;
+  /// Enforced ceiling is 1 - margin; a small buffer keeps the next
+  /// characterization from finding grazing crossings again.
+  double margin = 2e-3;
+  /// Extra constraint samples per violation band (besides the peak).
+  /// The peak alone usually suffices (the min-norm step flattens the
+  /// whole hump); interior samples help on very wide bands but make the
+  /// dual system ill-conditioned, so they are off by default.
+  std::size_t extra_samples_per_band = 0;
+  /// Tikhonov ridge on the dual Gram system (conditioning guard).
+  double ridge = 1e-10;
+  core::SolverOptions solver{};
+};
+
+struct EnforcementIterate {
+  std::size_t violation_bands = 0;
+  double worst_sigma = 0.0;
+  double delta_c_norm = 0.0;  ///< Frobenius norm of this step's DeltaC
+};
+
+struct EnforcementResult {
+  bool success = false;
+  std::size_t iterations = 0;
+  std::vector<EnforcementIterate> history;
+  /// ||C_final - C_initial||_F / ||C_initial||_F — model perturbation.
+  double relative_model_change = 0.0;
+};
+
+/// Perturb `realization`'s residues in place until passive (or the
+/// iteration budget runs out).  Requires sigma_max(D) < 1.
+[[nodiscard]] EnforcementResult enforce_passivity(
+    macromodel::SimoRealization& realization,
+    const EnforcementOptions& options);
+
+}  // namespace phes::passivity

@@ -1,0 +1,36 @@
+#pragma once
+// Sampling-based passivity checking (in the spirit of the adaptive
+// scheme of [17]).  Independent of the Hamiltonian machinery: used to
+// cross-validate the algebraic characterization in tests and examples,
+// and as a cheap screening tool.  Unlike the Hamiltonian test it can
+// miss violations between samples — which is exactly why the paper
+// advocates the algebraic route.
+
+#include "phes/la/types.hpp"
+#include "phes/macromodel/simo_realization.hpp"
+
+namespace phes::passivity {
+
+struct SweepOptions {
+  double omega_min = 0.0;
+  double omega_max = 0.0;       ///< must be > omega_min
+  std::size_t initial_grid = 128;
+  std::size_t refine_levels = 6;  ///< bisection depth around crossings
+  double threshold = 1.0;         ///< unit singular-value bound
+};
+
+struct SweepResult {
+  bool passive = false;
+  double worst_sigma = 0.0;
+  double worst_omega = 0.0;
+  /// Estimated unit-crossing frequencies (bisection-refined).
+  la::RealVector estimated_crossings;
+};
+
+/// Scan sigma_max(H(jw)) on a grid, bisect each sign change of
+/// (sigma_max - threshold) to locate the crossings.
+[[nodiscard]] SweepResult sampling_passivity_check(
+    const macromodel::SimoRealization& realization,
+    const SweepOptions& options);
+
+}  // namespace phes::passivity

@@ -1,0 +1,22 @@
+#pragma once
+// Precondition checking (C++ Core Guidelines I.6/E.x): public-interface
+// violations throw; internal invariants use assert-like termination in
+// debug builds only.
+
+#include <stdexcept>
+#include <string>
+
+namespace phes::util {
+
+/// Throws std::invalid_argument when `condition` is false.
+inline void check(bool condition, const std::string& message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+/// Throws std::runtime_error for failures detected mid-computation
+/// (e.g. a factorization hitting an exactly singular pivot).
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw std::runtime_error(message);
+}
+
+}  // namespace phes::util

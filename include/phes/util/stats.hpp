@@ -1,0 +1,34 @@
+#pragma once
+// Run statistics for repeated-measurement experiments (paper Fig. 6
+// reports mean +/- standard deviation over 20 independent runs).
+
+#include <cstddef>
+#include <span>
+
+namespace phes::util {
+
+/// Online accumulator (Welford) for mean / stddev / min / max.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Convenience: accumulate a whole span at once.
+[[nodiscard]] RunningStats summarize(std::span<const double> xs) noexcept;
+
+}  // namespace phes::util

@@ -1,0 +1,32 @@
+#pragma once
+// Minimal fixed-width ASCII table printer for benchmark harnesses that
+// regenerate the paper's tables (Table I, Fig. 6 series).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace phes::util {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with a header underline and two-space column gaps.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `digits` significant fractional digits.
+[[nodiscard]] std::string format_double(double value, int digits = 3);
+
+}  // namespace phes::util

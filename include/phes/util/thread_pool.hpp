@@ -1,0 +1,52 @@
+#pragma once
+// Fixed-size worker pool used by the dynamic shift scheduler (DESIGN.md).
+//
+// The paper assigns individual single-shift Arnoldi iterations to
+// individual threads; the pool provides exactly that: T long-lived
+// workers pulling tasks from a shared queue.  Tasks may themselves
+// enqueue further tasks (the scheduler's split rule does), so shutdown
+// waits for full quiescence, not just queue emptiness.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace phes::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task.  Safe to call from within a running task.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task (including tasks submitted by
+  /// running tasks) has completed.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace phes::util

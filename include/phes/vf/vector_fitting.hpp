@@ -1,0 +1,52 @@
+#pragma once
+// Vector Fitting (Gustavsen-Semlyen [1]) — the rational-approximation
+// substrate that produces the macromodels the eigensolver characterizes
+// (paper Sec. II: models are "identified from tabulated frequency
+// responses ... using rational curve fitting").
+//
+// Implemented column-wise (multi-SIMO): each column of the p x p sampled
+// transfer matrix is fitted with its own pole set shared by the p
+// entries of that column, exactly matching the structured realization
+// of paper Eq. 2.  Classic algorithm:
+//   1. sigma iteration: solve the linear LS
+//        sum_b r_b phi_b(s) + d  -  H(s) sum_b r~_b phi_b(s)  =  H(s)
+//      with partial-fraction basis phi_b over the current poles;
+//   2. pole relocation: new poles = eig(A_p - b c~^T) (zeros of sigma);
+//   3. stability enforcement: flip any Re >= 0 pole into the left
+//      half-plane;
+//   4. iterate, then fix the poles and solve the final residue problem.
+
+#include <cstddef>
+#include <vector>
+
+#include "phes/macromodel/pole_residue.hpp"
+#include "phes/macromodel/samples.hpp"
+
+namespace phes::vf {
+
+struct VectorFittingOptions {
+  std::size_t num_poles = 16;   ///< states per column (pairs count twice)
+  std::size_t iterations = 12;  ///< pole-relocation sweeps
+  bool enforce_stability = true;
+  /// Initial poles: -damping*beta +- j*beta, beta log-spaced over the
+  /// sample band.
+  double initial_pole_damping = 0.01;
+  /// Stop early when the largest relative pole movement drops below
+  /// this threshold.
+  double pole_tol = 1e-8;
+};
+
+struct VectorFittingResult {
+  macromodel::PoleResidueModel model;
+  double rms_error = 0.0;          ///< overall relative RMS fit error
+  std::vector<double> column_rms;  ///< per-column relative RMS
+  std::size_t iterations_used = 0;
+};
+
+/// Fit a rational macromodel to tabulated frequency samples.
+/// Throws std::invalid_argument on inconsistent samples or options.
+[[nodiscard]] VectorFittingResult vector_fit(
+    const macromodel::FrequencySamples& samples,
+    const VectorFittingOptions& options);
+
+}  // namespace phes::vf

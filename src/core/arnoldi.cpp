@@ -1,0 +1,154 @@
+#include "phes/core/arnoldi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phes/la/blas.hpp"
+#include "phes/la/eig.hpp"
+#include "phes/util/check.hpp"
+
+namespace phes::core {
+
+namespace {
+
+// Orthogonalize `w` against rows [0, count) of `v_rows` and against all
+// locked vectors, accumulating projection coefficients for the basis
+// rows into `coeffs` (length >= count).  One MGS pass.
+void mgs_pass(const ComplexMatrix& v_rows, std::size_t count,
+              std::span<const ComplexVector> locked, ComplexVector& w,
+              Complex* coeffs) {
+  const std::size_t dim = w.size();
+  for (const auto& lv : locked) {
+    Complex proj{};
+    const Complex* q = lv.data();
+    for (std::size_t i = 0; i < dim; ++i) proj += std::conj(q[i]) * w[i];
+    for (std::size_t i = 0; i < dim; ++i) w[i] -= proj * q[i];
+  }
+  for (std::size_t j = 0; j < count; ++j) {
+    const Complex* vj = v_rows.row_ptr(j);
+    Complex proj{};
+    for (std::size_t i = 0; i < dim; ++i) proj += std::conj(vj[i]) * w[i];
+    for (std::size_t i = 0; i < dim; ++i) w[i] -= proj * vj[i];
+    if (coeffs != nullptr) coeffs[j] += proj;
+  }
+}
+
+}  // namespace
+
+ComplexVector random_start_vector(std::size_t dim, util::Rng& rng) {
+  ComplexVector v(dim);
+  for (auto& x : v) x = Complex(rng.normal(), rng.normal());
+  const double norm = la::nrm2<Complex>(v);
+  for (auto& x : v) x /= norm;
+  return v;
+}
+
+ArnoldiResult arnoldi(const hamiltonian::ComplexLinearOperator& op,
+                      std::span<const Complex> v0, std::size_t d,
+                      std::span<const ComplexVector> locked) {
+  const std::size_t dim = op.dim();
+  util::check(v0.size() == dim, "arnoldi: start vector dimension mismatch");
+  util::check(d >= 1 && d < dim, "arnoldi: need 1 <= d < dim");
+  for (const auto& lv : locked) {
+    util::check(lv.size() == dim, "arnoldi: locked vector dimension mismatch");
+  }
+
+  // The Krylov space lives in the orthogonal complement of the locked
+  // subspace; never ask for more directions than exist there, or the
+  // process runs past exhaustion on roundoff noise and manufactures
+  // spurious "converged" Ritz pairs.
+  const std::size_t available = dim - locked.size();
+  util::check(available >= 2, "arnoldi: locked subspace leaves no room");
+  const std::size_t d_eff = std::min(d, available - 1);
+
+  ArnoldiResult res;
+  res.v_rows = ComplexMatrix(d_eff + 1, dim);
+  res.h = ComplexMatrix(d_eff + 1, d_eff);
+
+  // Normalize (and deflate) the start vector.
+  {
+    ComplexVector w(v0.begin(), v0.end());
+    mgs_pass(res.v_rows, 0, locked, w, nullptr);
+    mgs_pass(res.v_rows, 0, locked, w, nullptr);
+    const double norm = la::nrm2<Complex>(w);
+    util::require(norm > 1e-10,
+                  "arnoldi: start vector lies in the locked subspace");
+    Complex* row0 = res.v_rows.row_ptr(0);
+    for (std::size_t i = 0; i < dim; ++i) row0[i] = w[i] / norm;
+  }
+
+  ComplexVector w(dim);
+  std::vector<Complex> coeffs(d_eff + 1);
+  for (std::size_t k = 0; k < d_eff; ++k) {
+    // w = Op v_k.
+    op.apply(std::span<const Complex>(res.v_rows.row_ptr(k), dim), w);
+    ++res.matvecs;
+    const double norm_before = la::nrm2<Complex>(w);
+
+    // MGS + one reorthogonalization pass (classic "twice is enough").
+    std::fill(coeffs.begin(), coeffs.end(), Complex{});
+    mgs_pass(res.v_rows, k + 1, locked, w, coeffs.data());
+    mgs_pass(res.v_rows, k + 1, locked, w, coeffs.data());
+    for (std::size_t j = 0; j <= k; ++j) res.h(j, k) = coeffs[j];
+
+    const double norm = la::nrm2<Complex>(w);
+    res.steps = k + 1;
+    // Relative breakdown test: when Op v_k lies (numerically) in the
+    // span already built, the subspace is invariant — stop rather than
+    // continue on noise.
+    if (norm <= 1e-10 * std::max(norm_before, 1e-300)) {
+      res.h(k + 1, k) = Complex{};
+      break;
+    }
+    res.h(k + 1, k) = Complex(norm, 0.0);
+    Complex* next = res.v_rows.row_ptr(k + 1);
+    for (std::size_t i = 0; i < dim; ++i) next[i] = w[i] / norm;
+  }
+  return res;
+}
+
+std::vector<RitzPair> ritz_pairs(const ArnoldiResult& ar, bool want_vectors) {
+  const std::size_t d = ar.steps;
+  std::vector<RitzPair> pairs;
+  if (d == 0) return pairs;
+
+  // Square projection H_d and the residual scale h(d+1, d).
+  ComplexMatrix hd(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) hd(i, j) = ar.h(i, j);
+  }
+  const double beta = std::abs(ar.h(d, d - 1));
+
+  const la::ComplexEigResult eig = la::hessenberg_eig(hd, true);
+  pairs.reserve(d);
+  const std::size_t dim = ar.v_rows.cols();
+  for (std::size_t j = 0; j < d; ++j) {
+    RitzPair p;
+    p.value = eig.values[j];
+    const auto y = eig.vectors.col(j);
+    p.residual = beta * std::abs(y[d - 1]);
+    if (want_vectors) {
+      p.vector.assign(dim, Complex{});
+      for (std::size_t row = 0; row < d; ++row) {
+        const Complex yc = y[row];
+        if (yc == Complex{}) continue;
+        const Complex* vr = ar.v_rows.row_ptr(row);
+        for (std::size_t i = 0; i < dim; ++i) {
+          p.vector[i] += vr[i] * yc;
+        }
+      }
+      const double norm = la::nrm2<Complex>(p.vector);
+      if (norm > 0.0) {
+        for (auto& x : p.vector) x /= norm;
+      }
+    }
+    pairs.push_back(std::move(p));
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const RitzPair& a,
+                                           const RitzPair& b) {
+    return std::abs(a.value) > std::abs(b.value);
+  });
+  return pairs;
+}
+
+}  // namespace phes::core

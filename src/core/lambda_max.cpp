@@ -1,0 +1,32 @@
+#include "phes/core/lambda_max.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phes/core/arnoldi.hpp"
+#include "phes/hamiltonian/implicit_op.hpp"
+
+namespace phes::core {
+
+double estimate_lambda_max(const macromodel::SimoRealization& realization,
+                           const LambdaMaxOptions& opt, util::Rng& rng) {
+  const hamiltonian::ImplicitHamiltonianOp op(realization);
+  const std::size_t dim = op.dim();
+  const std::size_t d = std::min(opt.krylov_dim, dim - 1);
+
+  double best = 0.0;
+  for (std::size_t r = 0; r < std::max<std::size_t>(opt.restarts, 1); ++r) {
+    const auto v0 = random_start_vector(dim, rng);
+    const auto ar = arnoldi(op, v0, d, {});
+    for (const auto& p : ritz_pairs(ar, false)) {
+      best = std::max(best, std::abs(p.value));
+    }
+  }
+  // Safeguard floor: unit-threshold crossings can only occur where the
+  // dynamic part of H(jw) is active, i.e. within the pole band, so
+  // never search less than the largest pole magnitude.
+  best = std::max(best, realization.max_pole_magnitude());
+  return best * opt.safety_factor;
+}
+
+}  // namespace phes::core

@@ -1,0 +1,42 @@
+#include "phes/hamiltonian/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phes::hamiltonian {
+
+RealVector extract_imaginary_frequencies(const ComplexVector& spectrum,
+                                         double tol_rel, double scale) {
+  RealVector freqs;
+  for (const Complex& lambda : spectrum) {
+    const double mag = std::max(std::abs(lambda), scale);
+    if (std::abs(lambda.real()) <= tol_rel * mag && lambda.imag() >= 0.0) {
+      freqs.push_back(lambda.imag());
+    }
+  }
+  std::sort(freqs.begin(), freqs.end());
+  // Collapse near-duplicates (conjugate partners land at the same w;
+  // clustered Ritz copies may differ in the last digits).
+  RealVector unique;
+  for (double w : freqs) {
+    if (unique.empty() ||
+        w - unique.back() > tol_rel * std::max(scale, unique.back())) {
+      unique.push_back(w);
+    }
+  }
+  return unique;
+}
+
+bool has_hamiltonian_symmetry(const ComplexVector& spectrum, double tol) {
+  for (const Complex& lambda : spectrum) {
+    const Complex mirror = -std::conj(lambda);
+    double best = 1e300;
+    for (const Complex& other : spectrum) {
+      best = std::min(best, std::abs(other - mirror));
+    }
+    if (best > tol * std::max(1.0, std::abs(lambda))) return false;
+  }
+  return true;
+}
+
+}  // namespace phes::hamiltonian

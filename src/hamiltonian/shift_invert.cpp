@@ -1,0 +1,77 @@
+#include "phes/hamiltonian/shift_invert.hpp"
+
+#include "phes/util/check.hpp"
+
+namespace phes::hamiltonian {
+
+SmwShiftInvertOp::SmwShiftInvertOp(
+    const macromodel::SimoRealization& realization, Complex theta)
+    : realization_(realization), theta_(theta) {
+  const std::size_t p = realization_.ports();
+  // H(theta) and H(-theta): O(n p^2) worth of structured evaluations
+  // (each eval is O(n p); entries land in p x p matrices).
+  const la::ComplexMatrix h_pos = realization_.eval(theta);
+  const la::ComplexMatrix h_neg = realization_.eval(-theta);
+
+  // K = [ -H(theta)  -I ;  I  H(-theta)^T ].
+  la::ComplexMatrix k(2 * p, 2 * p);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < p; ++j) {
+      k(i, j) = -h_pos(i, j);
+      k(p + i, p + j) = h_neg(j, i);
+    }
+    k(i, p + i) = Complex(-1.0, 0.0);
+    k(p + i, i) = Complex(1.0, 0.0);
+  }
+  k_lu_ = std::make_unique<la::LuFactorization<Complex>>(std::move(k));
+}
+
+void SmwShiftInvertOp::apply(std::span<const Complex> x,
+                             std::span<Complex> y) const {
+  const std::size_t n = realization_.order();
+  const std::size_t p = realization_.ports();
+  util::check(x.size() == 2 * n && y.size() == 2 * n,
+              "SmwShiftInvertOp::apply: size mismatch");
+
+  // G x with G = blkdiag((A - theta I)^{-1}, -(A^T + theta I)^{-1}).
+  la::ComplexVector g1(n), g2(n);
+  realization_.solve_a_minus(theta_, x.subspan(0, n), g1);
+  realization_.solve_at_minus(-theta_, x.subspan(n, n), g2);
+  for (auto& v : g2) v = -v;
+
+  // w = V G x = [C g1; B^T g2].
+  la::ComplexVector w(2 * p);
+  {
+    la::ComplexVector w1(p), w2(p);
+    realization_.apply_c(g1, w1);
+    realization_.apply_bt<Complex>(g2, w2);
+    for (std::size_t i = 0; i < p; ++i) {
+      w[i] = w1[i];
+      w[p + i] = w2[i];
+    }
+  }
+
+  // z = K^{-1} w.
+  const la::ComplexVector z = k_lu_->solve(w);
+
+  // U z = [B z1; C^T z2], then G (U z).
+  la::ComplexVector u1(n), u2(n);
+  {
+    la::ComplexVector z1(z.begin(), z.begin() + static_cast<long>(p));
+    la::ComplexVector z2(z.begin() + static_cast<long>(p), z.end());
+    la::ComplexVector bz(n), ctz(n);
+    realization_.apply_b<Complex>(z1, bz);
+    realization_.apply_ct(z2, ctz);
+    realization_.solve_a_minus(theta_, bz, u1);
+    realization_.solve_at_minus(-theta_, ctz, u2);
+    for (auto& v : u2) v = -v;
+  }
+
+  // y = G x - G U K^{-1} V G x.
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = g1[i] - u1[i];
+    y[n + i] = g2[i] - u2[i];
+  }
+}
+
+}  // namespace phes::hamiltonian

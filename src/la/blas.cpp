@@ -1,0 +1,31 @@
+#include "phes/la/blas.hpp"
+
+namespace phes::la {
+
+ComplexVector gemv_real_complex(const RealMatrix& a,
+                                std::span<const Complex> x) {
+  util::check(a.cols() == x.size(), "gemv_real_complex: shape mismatch");
+  ComplexVector y(a.rows(), Complex{});
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const Real* row = a.row_ptr(i);
+    Complex acc{};
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+ComplexVector gemv_transposed_real_complex(const RealMatrix& a,
+                                           std::span<const Complex> x) {
+  util::check(a.rows() == x.size(),
+              "gemv_transposed_real_complex: shape mismatch");
+  ComplexVector y(a.cols(), Complex{});
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const Real* row = a.row_ptr(i);
+    const Complex xi = x[i];
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += row[j] * xi;
+  }
+  return y;
+}
+
+}  // namespace phes::la

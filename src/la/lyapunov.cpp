@@ -1,0 +1,128 @@
+#include "phes/la/lyapunov.hpp"
+
+#include <vector>
+
+#include "phes/la/blas.hpp"
+#include "phes/la/lu.hpp"
+#include "phes/la/schur.hpp"
+#include "phes/util/check.hpp"
+
+namespace phes::la {
+
+namespace {
+
+// Diagonal block partition of a quasi-triangular matrix: list of
+// (start, size) with size 1 or 2.
+std::vector<std::pair<std::size_t, std::size_t>> block_partition(
+    const RealMatrix& t) {
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;
+  const std::size_t n = t.rows();
+  std::size_t i = 0;
+  while (i < n) {
+    const bool pair = (i + 1 < n) && t(i + 1, i) != 0.0;
+    blocks.emplace_back(i, pair ? 2 : 1);
+    i += pair ? 2 : 1;
+  }
+  return blocks;
+}
+
+}  // namespace
+
+RealMatrix solve_lyapunov(const RealMatrix& a, const RealMatrix& q) {
+  util::check(a.is_square() && q.is_square() && a.rows() == q.rows(),
+              "solve_lyapunov: shape mismatch");
+  const std::size_t n = a.rows();
+  if (n == 0) return RealMatrix();
+
+  // Schur form A = U T U^T; transformed equation T Y + Y T^T = -U^T Q U.
+  const RealSchurResult schur = real_schur(a, /*accumulate_q=*/true);
+  const RealMatrix& t = schur.t;
+  const RealMatrix& u = schur.q;
+  RealMatrix c = gemm(transpose(u), gemm(q, u));
+  c *= -1.0;
+
+  const auto blocks = block_partition(t);
+  RealMatrix y(n, n);
+
+  // Solve block (I, J):  T_II Y_IJ + Y_IJ T_JJ^T = C_IJ
+  //                       - sum_{K>I} T_IK Y_KJ - sum_{K>J} Y_IK T_JK^T
+  // (T upper quasi-triangular: T_IK != 0 for K >= I and (T^T)_KJ =
+  // T_JK^T != 0 for K >= J).  Dependencies point down and to the right,
+  // so iterate I bottom-up and J right-to-left.
+  for (std::size_t jb = blocks.size(); jb-- > 0;) {
+    const auto [j0, bj] = blocks[jb];
+    for (std::size_t ib = blocks.size(); ib-- > 0;) {
+      const auto [i0, bi] = blocks[ib];
+      // RHS block.
+      RealMatrix rhs(bi, bj);
+      for (std::size_t r = 0; r < bi; ++r) {
+        for (std::size_t s = 0; s < bj; ++s) rhs(r, s) = c(i0 + r, j0 + s);
+      }
+      // - sum_{K > I} T_IK Y_KJ
+      for (std::size_t kb = ib + 1; kb < blocks.size(); ++kb) {
+        const auto [k0, bk] = blocks[kb];
+        for (std::size_t r = 0; r < bi; ++r) {
+          for (std::size_t s = 0; s < bj; ++s) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < bk; ++k) {
+              acc += t(i0 + r, k0 + k) * y(k0 + k, j0 + s);
+            }
+            rhs(r, s) -= acc;
+          }
+        }
+      }
+      // - sum_{K > J} Y_IK T_JK^T.
+      for (std::size_t kb = jb + 1; kb < blocks.size(); ++kb) {
+        const auto [k0, bk] = blocks[kb];
+        for (std::size_t r = 0; r < bi; ++r) {
+          for (std::size_t s = 0; s < bj; ++s) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < bk; ++k) {
+              acc += y(i0 + r, k0 + k) * t(j0 + s, k0 + k);
+            }
+            rhs(r, s) -= acc;
+          }
+        }
+      }
+      // Small Kronecker system:
+      //   (I_bj (x) T_II + T_JJ (x) I_bi) vec(Y_IJ) = vec(rhs),
+      // with column-major vec.
+      const std::size_t m = bi * bj;
+      RealMatrix sys(m, m);
+      for (std::size_t s = 0; s < bj; ++s) {
+        for (std::size_t r = 0; r < bi; ++r) {
+          const std::size_t row = s * bi + r;
+          for (std::size_t k = 0; k < bi; ++k) {
+            sys(row, s * bi + k) += t(i0 + r, i0 + k);
+          }
+          for (std::size_t k = 0; k < bj; ++k) {
+            sys(row, k * bi + r) += t(j0 + s, j0 + k);
+          }
+        }
+      }
+      RealVector vec_rhs(m);
+      for (std::size_t s = 0; s < bj; ++s) {
+        for (std::size_t r = 0; r < bi; ++r) vec_rhs[s * bi + r] = rhs(r, s);
+      }
+      const RealVector sol = lu_solve(std::move(sys), vec_rhs);
+      for (std::size_t s = 0; s < bj; ++s) {
+        for (std::size_t r = 0; r < bi; ++r) {
+          y(i0 + r, j0 + s) = sol[s * bi + r];
+        }
+      }
+    }
+  }
+
+  // Back-transform X = U Y U^T and symmetrize (Q symmetric => X is).
+  RealMatrix x = gemm(u, gemm(y, transpose(u)));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double avg = 0.5 * (x(i, j) + x(j, i));
+      x(i, j) = avg;
+      x(j, i) = avg;
+    }
+  }
+  return x;
+}
+
+}  // namespace phes::la

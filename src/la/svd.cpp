@@ -1,0 +1,218 @@
+#include "phes/la/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "phes/la/blas.hpp"
+#include "phes/util/check.hpp"
+
+namespace phes::la {
+
+namespace {
+
+constexpr int kMaxSweeps = 60;
+
+// Sorts (sigma, columns of one or two matrices) descending by sigma.
+template <typename T>
+void sort_descending(RealVector& sigma, Matrix<T>* m1, Matrix<T>* m2) {
+  const std::size_t n = sigma.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return sigma[a] > sigma[b]; });
+  RealVector sorted_sigma(n);
+  for (std::size_t k = 0; k < n; ++k) sorted_sigma[k] = sigma[order[k]];
+  auto permute_cols = [&](Matrix<T>& m) {
+    Matrix<T> out(m.rows(), m.cols());
+    for (std::size_t k = 0; k < n; ++k) out.set_col(k, m.col(order[k]));
+    m = std::move(out);
+  };
+  sigma = std::move(sorted_sigma);
+  if (m1 != nullptr && !m1->empty()) permute_cols(*m1);
+  if (m2 != nullptr && !m2->empty()) permute_cols(*m2);
+}
+
+}  // namespace
+
+RealSvdResult real_svd(RealMatrix a) {
+  util::check(a.rows() >= a.cols(), "real_svd: requires rows >= cols");
+  const std::size_t m = a.rows(), n = a.cols();
+  RealMatrix v = RealMatrix::identity(n);
+
+  // One-sided Jacobi: orthogonalize pairs of columns of A; V accumulates
+  // the rotations so that A_final = A_initial * V.
+  const double tol = 1e-14;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double max_cos = 0.0;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          app += a(i, p) * a(i, p);
+          aqq += a(i, q) * a(i, q);
+          apq += a(i, p) * a(i, q);
+        }
+        if (app == 0.0 || aqq == 0.0) continue;
+        const double cosine = std::abs(apq) / std::sqrt(app * aqq);
+        max_cos = std::max(max_cos, cosine);
+        if (cosine < tol) continue;
+        // Jacobi rotation that zeroes the (p,q) entry of A^T A.
+        const double zeta = (aqq - app) / (2.0 * apq);
+        const double t_val =
+            (zeta >= 0.0 ? 1.0 : -1.0) /
+            (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t_val * t_val);
+        const double s = c * t_val;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double t1 = a(i, p), t2 = a(i, q);
+          a(i, p) = c * t1 - s * t2;
+          a(i, q) = s * t1 + c * t2;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double t1 = v(i, p), t2 = v(i, q);
+          v(i, p) = c * t1 - s * t2;
+          v(i, q) = s * t1 + c * t2;
+        }
+      }
+    }
+    if (max_cos < tol) break;
+  }
+
+  RealSvdResult res;
+  res.sigma.resize(n);
+  res.u = RealMatrix(m, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (std::size_t i = 0; i < m; ++i) norm += a(i, j) * a(i, j);
+    norm = std::sqrt(norm);
+    res.sigma[j] = norm;
+    if (norm > 0.0) {
+      for (std::size_t i = 0; i < m; ++i) res.u(i, j) = a(i, j) / norm;
+    }
+  }
+  res.v = std::move(v);
+  sort_descending(res.sigma, &res.u, &res.v);
+  return res;
+}
+
+RealVector real_singular_values(RealMatrix a) {
+  if (a.rows() < a.cols()) a = transpose(a);
+  return real_svd(std::move(a)).sigma;
+}
+
+HermitianEigResult hermitian_eig(ComplexMatrix a, bool want_vectors) {
+  util::check(a.is_square(), "hermitian_eig: matrix must be square");
+  const std::size_t n = a.rows();
+  ComplexMatrix v =
+      want_vectors ? ComplexMatrix::identity(n) : ComplexMatrix();
+
+  // Two-sided Jacobi with complex rotations.  Pivot (p,q) is
+  // annihilated by J = [[c, -s* e^{i phi}], [s e^{-i phi}, c]]-style
+  // unitary built from the Hermitian 2x2 [[app, h],[conj(h), aqq]].
+  const double tol = 1e-14;
+  double off_ref = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) off_ref += std::norm(a(i, j));
+  }
+  off_ref = std::max(std::sqrt(off_ref), 1e-300);
+
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double max_off = 0.0;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const Complex h = a(p, q);
+        const double ah = std::abs(h);
+        max_off = std::max(max_off, ah);
+        if (ah <= tol * off_ref) continue;
+        const double app = a(p, p).real();
+        const double aqq = a(q, q).real();
+        const Complex phase = h / ah;  // e^{i phi}
+        // Real Jacobi angle for [[app, ah],[ah, aqq]].
+        const double zeta = (aqq - app) / (2.0 * ah);
+        const double t_val =
+            (zeta >= 0.0 ? 1.0 : -1.0) /
+            (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t_val * t_val);
+        const double s = c * t_val;
+        // Column rotation: [cp, cq] <- [c*cp - s*conj(phase)*cq,
+        //                               s*phase*cp + c*cq]
+        const Complex sp = s * phase;
+        const Complex spc = s * std::conj(phase);
+        for (std::size_t i = 0; i < n; ++i) {
+          const Complex t1 = a(i, p), t2 = a(i, q);
+          a(i, p) = c * t1 - spc * t2;
+          a(i, q) = sp * t1 + c * t2;
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+          const Complex t1 = a(p, j), t2 = a(q, j);
+          a(p, j) = c * t1 - sp * t2;
+          a(q, j) = spc * t1 + c * t2;
+        }
+        if (want_vectors) {
+          for (std::size_t i = 0; i < n; ++i) {
+            const Complex t1 = v(i, p), t2 = v(i, q);
+            v(i, p) = c * t1 - spc * t2;
+            v(i, q) = sp * t1 + c * t2;
+          }
+        }
+        // Force exact Hermitian structure at the pivot.
+        a(p, q) = Complex{};
+        a(q, p) = Complex{};
+        a(p, p) = Complex(a(p, p).real(), 0.0);
+        a(q, q) = Complex(a(q, q).real(), 0.0);
+      }
+    }
+    if (max_off <= tol * off_ref) break;
+  }
+
+  HermitianEigResult res;
+  res.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) res.values[i] = a(i, i).real();
+  res.vectors = std::move(v);
+  sort_descending(res.values, want_vectors ? &res.vectors : nullptr,
+                  static_cast<ComplexMatrix*>(nullptr));
+  return res;
+}
+
+RealVector complex_singular_values(const ComplexMatrix& a) {
+  // sigma(A) = sqrt(eig(A^H A)); A^H A is Hermitian positive
+  // semidefinite.
+  const ComplexMatrix ata = gemm(adjoint(a), a);
+  HermitianEigResult eig = hermitian_eig(ata, false);
+  RealVector sigma(eig.values.size());
+  for (std::size_t i = 0; i < sigma.size(); ++i) {
+    sigma[i] = std::sqrt(std::max(eig.values[i], 0.0));
+  }
+  return sigma;
+}
+
+double complex_spectral_norm(const ComplexMatrix& a) {
+  const RealVector sigma = complex_singular_values(a);
+  return sigma.empty() ? 0.0 : sigma.front();
+}
+
+ComplexSvdResult complex_svd(const ComplexMatrix& a) {
+  util::check(a.is_square(), "complex_svd: requires a square matrix");
+  const std::size_t n = a.rows();
+  const ComplexMatrix ata = gemm(adjoint(a), a);
+  HermitianEigResult eig = hermitian_eig(ata, true);
+
+  ComplexSvdResult res;
+  res.sigma.resize(n);
+  res.v = std::move(eig.vectors);
+  res.u = ComplexMatrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    res.sigma[j] = std::sqrt(std::max(eig.values[j], 0.0));
+    ComplexVector vj = res.v.col(j);
+    ComplexVector uj = gemv(a, std::span<const Complex>(vj));
+    const double nu = nrm2<Complex>(uj);
+    if (nu > 0.0) {
+      for (auto& x : uj) x /= nu;
+    }
+    res.u.set_col(j, uj);
+  }
+  return res;
+}
+
+}  // namespace phes::la

@@ -1,0 +1,91 @@
+#include "phes/macromodel/balanced_truncation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phes/la/blas.hpp"
+#include "phes/la/svd.hpp"
+#include "phes/macromodel/gramians.hpp"
+#include "phes/util/check.hpp"
+
+namespace phes::macromodel {
+
+namespace {
+
+// Symmetric PSD factor X = L L^T via eigen-decomposition (tolerant of
+// tiny negative eigenvalues from roundoff).
+la::RealMatrix psd_factor(const la::RealMatrix& x) {
+  const auto eig = la::hermitian_eig(la::to_complex(x), true);
+  const std::size_t n = x.rows();
+  la::RealMatrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double lambda = std::max(eig.values[j], 0.0);
+    const double s = std::sqrt(lambda);
+    for (std::size_t i = 0; i < n; ++i) {
+      l(i, j) = eig.vectors(i, j).real() * s;
+    }
+  }
+  return l;
+}
+
+}  // namespace
+
+std::size_t order_for_tolerance(const la::RealVector& hsv,
+                                double tolerance) {
+  util::check(tolerance > 0.0, "order_for_tolerance: tolerance must be > 0");
+  // Walk from the full order down while the discarded tail stays small.
+  double tail = 0.0;
+  std::size_t k = hsv.size();
+  while (k > 0 && 2.0 * (tail + hsv[k - 1]) <= tolerance) {
+    tail += hsv[k - 1];
+    --k;
+  }
+  return k;
+}
+
+ReductionResult balanced_truncation(const StateSpaceModel& model,
+                                    std::size_t target_order) {
+  model.check_shapes();
+  const std::size_t n = model.order();
+  util::check(target_order >= 1 && target_order < n,
+              "balanced_truncation: need 1 <= k < n");
+
+  const la::RealMatrix p = controllability_gramian(model);
+  const la::RealMatrix q = observability_gramian(model);
+  const la::RealMatrix lp = psd_factor(p);
+  const la::RealMatrix lq = psd_factor(q);
+
+  // Lq^T Lp = U S V^T.
+  const la::RealSvdResult svd = la::real_svd(la::gemm(la::transpose(lq), lp));
+  const std::size_t k = target_order;
+  util::require(svd.sigma[k - 1] > 1e-13 * std::max(svd.sigma[0], 1e-300),
+                "balanced_truncation: requested order exceeds the "
+                "numerical rank of the Hankel map");
+
+  // T = Lp V S^{-1/2} (n x k), Tinv = S^{-1/2} U^T Lq^T (k x n).
+  la::RealMatrix t(n, k), tinv(k, n);
+  {
+    const la::RealMatrix lpv = la::gemm(lp, svd.v);
+    const la::RealMatrix utlq = la::gemm(la::transpose(svd.u),
+                                         la::transpose(lq));
+    for (std::size_t j = 0; j < k; ++j) {
+      const double s = 1.0 / std::sqrt(svd.sigma[j]);
+      for (std::size_t i = 0; i < n; ++i) {
+        t(i, j) = lpv(i, j) * s;
+        tinv(j, i) = utlq(j, i) * s;
+      }
+    }
+  }
+
+  ReductionResult res;
+  res.reduced.a = la::gemm(tinv, la::gemm(model.a, t));
+  res.reduced.b = la::gemm(tinv, model.b);
+  res.reduced.c = la::gemm(model.c, t);
+  res.reduced.d = model.d;
+  res.hankel_sv = svd.sigma;
+  for (std::size_t i = k; i < n; ++i) res.error_bound += svd.sigma[i];
+  res.error_bound *= 2.0;
+  return res;
+}
+
+}  // namespace phes::macromodel

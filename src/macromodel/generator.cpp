@@ -1,0 +1,132 @@
+#include "phes/macromodel/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phes/la/svd.hpp"
+#include "phes/util/check.hpp"
+#include "phes/util/rng.hpp"
+
+namespace phes::macromodel {
+
+namespace {
+
+// Distributes `total` states over `parts` columns as evenly as possible.
+std::vector<std::size_t> split_states(std::size_t total, std::size_t parts) {
+  std::vector<std::size_t> out(parts, total / parts);
+  for (std::size_t k = 0; k < total % parts; ++k) out[k] += 1;
+  return out;
+}
+
+}  // namespace
+
+PoleResidueModel make_synthetic_model(const SyntheticModelSpec& spec) {
+  util::check(spec.ports > 0, "make_synthetic_model: ports must be > 0");
+  util::check(spec.states >= 2 * spec.ports,
+              "make_synthetic_model: need at least 2 states per port");
+  util::check(spec.omega_max > spec.omega_min && spec.omega_min > 0.0,
+              "make_synthetic_model: invalid band");
+  util::check(spec.d_norm >= 0.0 && spec.d_norm < 1.0,
+              "make_synthetic_model: d_norm must lie in [0, 1)");
+
+  util::Rng rng(spec.seed);
+  const std::size_t p = spec.ports;
+  const auto column_orders = split_states(spec.states, p);
+
+  // D: random diagonal-dominant direct coupling with sigma_max == d_norm.
+  RealMatrix d(p, p);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < p; ++j) d(i, j) = 0.1 * rng.normal();
+    d(i, i) = (rng.uniform() < 0.5 ? -1.0 : 1.0) * rng.uniform(0.5, 1.0);
+  }
+  if (spec.d_norm == 0.0) {
+    d = RealMatrix(p, p);
+  } else {
+    const auto sigma = la::real_singular_values(d);
+    d *= spec.d_norm / sigma.front();
+  }
+
+  const double log_lo = std::log(spec.omega_min);
+  const double log_hi = std::log(spec.omega_max);
+
+  std::vector<PoleResidueColumn> columns(p);
+  for (std::size_t k = 0; k < p; ++k) {
+    std::size_t remaining = column_orders[k];
+    PoleResidueColumn& col = columns[k];
+    // Lay poles log-uniformly with jitter so every column covers the
+    // band — interconnect responses have resonances across decades.
+    std::size_t slot = 0;
+    const std::size_t approx_terms = std::max<std::size_t>(1, remaining / 2);
+    while (remaining > 0) {
+      const double frac =
+          (static_cast<double>(slot) + rng.uniform(0.1, 0.9)) /
+          static_cast<double>(approx_terms);
+      const double omega0 =
+          std::exp(log_lo + (log_hi - log_lo) * std::min(frac, 1.0));
+      ++slot;
+
+      const bool make_real =
+          remaining == 1 || rng.uniform() < spec.real_pole_fraction;
+      if (make_real) {
+        RealPoleTerm t;
+        t.pole = -omega0 * rng.uniform(0.5, 2.0);
+        t.residue.resize(p);
+        for (auto& r : t.residue) r = rng.normal() * omega0;
+        col.real_terms.push_back(std::move(t));
+        remaining -= 1;
+      } else {
+        const double zeta = rng.uniform(spec.min_damping, spec.max_damping);
+        ComplexPoleTerm t;
+        t.pole = Complex(-zeta * omega0,
+                         omega0 * std::sqrt(1.0 - zeta * zeta));
+        t.residue.resize(p);
+        // Residue magnitude ~ zeta * omega0 keeps resonance peaks
+        // |r| / (zeta omega0) comparable across the band.
+        for (auto& r : t.residue) {
+          r = Complex(rng.normal(), rng.normal()) * (zeta * omega0);
+        }
+        col.complex_terms.push_back(std::move(t));
+        remaining -= 2;
+      }
+    }
+  }
+
+  PoleResidueModel model(std::move(d), std::move(columns));
+
+  // Scale the residues so the sampled peak gain hits the target.  The
+  // peak of sigma_max(H) decomposes as sigma(D + R(jw)) where only R
+  // scales; a few fixed-point iterations of linear rescaling converge
+  // well because sigma is monotone in the residue scale.
+  const std::size_t grid = std::max<std::size_t>(spec.gain_tuning_grid, 16);
+  auto sampled_peak = [&](const PoleResidueModel& m) {
+    double peak = 0.0;
+    for (std::size_t i = 0; i < grid; ++i) {
+      const double w = std::exp(
+          log_lo - 0.2 + (log_hi - log_lo + 0.4) * static_cast<double>(i) /
+                             static_cast<double>(grid - 1));
+      peak = std::max(peak, la::complex_spectral_norm(m.eval(w)));
+    }
+    return peak;
+  };
+
+  for (int pass = 0; pass < 4; ++pass) {
+    const double peak = sampled_peak(model);
+    // Only the dynamic part scales; remove the D floor conservatively.
+    const double dyn_peak = std::max(peak - spec.d_norm, 1e-12);
+    const double dyn_target = std::max(spec.target_peak_gain - spec.d_norm,
+                                       1e-12);
+    const double scale = dyn_target / dyn_peak;
+    if (std::abs(scale - 1.0) < 5e-3) break;
+    for (auto& col : model.columns()) {
+      for (auto& t : col.real_terms) {
+        for (auto& r : t.residue) r *= scale;
+      }
+      for (auto& t : col.complex_terms) {
+        for (auto& r : t.residue) r *= scale;
+      }
+    }
+  }
+  return model;
+}
+
+}  // namespace phes::macromodel

@@ -1,0 +1,68 @@
+#include "phes/macromodel/gramians.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phes/la/blas.hpp"
+#include "phes/la/lyapunov.hpp"
+#include "phes/la/schur.hpp"
+#include "phes/la/svd.hpp"
+#include "phes/util/check.hpp"
+
+namespace phes::macromodel {
+
+la::RealMatrix controllability_gramian(const StateSpaceModel& model) {
+  model.check_shapes();
+  const la::RealMatrix bbt = la::gemm(model.b, la::transpose(model.b));
+  return la::solve_lyapunov(model.a, bbt);
+}
+
+la::RealMatrix observability_gramian(const StateSpaceModel& model) {
+  model.check_shapes();
+  const la::RealMatrix ctc = la::gemm(la::transpose(model.c), model.c);
+  return la::solve_lyapunov(la::transpose(model.a), ctc);
+}
+
+la::RealVector hankel_singular_values(const StateSpaceModel& model) {
+  const la::RealMatrix pq =
+      la::gemm(controllability_gramian(model), observability_gramian(model));
+  const la::ComplexVector ev = la::real_eigenvalues(pq);
+  la::RealVector hsv;
+  hsv.reserve(ev.size());
+  for (const auto& l : ev) {
+    // P Q is similar to a PSD product; tiny negative / imaginary parts
+    // are roundoff.
+    hsv.push_back(std::sqrt(std::max(l.real(), 0.0)));
+  }
+  std::sort(hsv.begin(), hsv.end(), std::greater<>());
+  return hsv;
+}
+
+double hankel_norm(const StateSpaceModel& model) {
+  const auto hsv = hankel_singular_values(model);
+  return hsv.empty() ? 0.0 : hsv.front();
+}
+
+double hinf_upper_bound(const StateSpaceModel& model) {
+  const auto hsv = hankel_singular_values(model);
+  double sum = 0.0;
+  for (double s : hsv) sum += s;
+  // The dynamic part is bounded by twice the HSV sum; D shifts the
+  // whole response.
+  const auto sigma_d = la::real_singular_values(model.d);
+  const double d_norm = sigma_d.empty() ? 0.0 : sigma_d.front();
+  return d_norm + 2.0 * sum;
+}
+
+double perturbation_hinf_bound(const SimoRealization& realization,
+                               const la::RealMatrix& c_before) {
+  util::check(c_before.rows() == realization.ports() &&
+                  c_before.cols() == realization.order(),
+              "perturbation_hinf_bound: C shape mismatch");
+  StateSpaceModel error = realization.to_dense();
+  error.c -= c_before;          // DeltaC
+  error.d = la::RealMatrix(realization.ports(), realization.ports());
+  return hinf_upper_bound(error);
+}
+
+}  // namespace phes::macromodel

@@ -1,0 +1,85 @@
+#include "phes/macromodel/pole_residue.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phes/util/check.hpp"
+
+namespace phes::macromodel {
+
+PoleResidueModel::PoleResidueModel(RealMatrix d,
+                                   std::vector<PoleResidueColumn> columns)
+    : d_(std::move(d)), columns_(std::move(columns)) {
+  util::check(d_.is_square(), "PoleResidueModel: D must be square");
+  util::check(d_.rows() == columns_.size(),
+              "PoleResidueModel: one pole-residue column per port required");
+  const std::size_t p = ports();
+  for (const auto& col : columns_) {
+    for (const auto& t : col.real_terms) {
+      util::check(t.residue.size() == p,
+                  "PoleResidueModel: residue dimension mismatch");
+    }
+    for (const auto& t : col.complex_terms) {
+      util::check(t.residue.size() == p,
+                  "PoleResidueModel: residue dimension mismatch");
+      util::check(t.pole.imag() > 0.0,
+                  "PoleResidueModel: complex poles stored with Im > 0");
+    }
+  }
+}
+
+std::size_t PoleResidueModel::order() const noexcept {
+  std::size_t n = 0;
+  for (const auto& col : columns_) n += col.order();
+  return n;
+}
+
+ComplexMatrix PoleResidueModel::eval(Complex s) const {
+  const std::size_t p = ports();
+  ComplexMatrix h(p, p);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t k = 0; k < p; ++k) h(i, k) = Complex(d_(i, k), 0.0);
+  }
+  for (std::size_t k = 0; k < p; ++k) {
+    const auto& col = columns_[k];
+    for (const auto& t : col.real_terms) {
+      const Complex factor = 1.0 / (s - Complex(t.pole, 0.0));
+      for (std::size_t i = 0; i < p; ++i) h(i, k) += t.residue[i] * factor;
+    }
+    for (const auto& t : col.complex_terms) {
+      const Complex f1 = 1.0 / (s - t.pole);
+      const Complex f2 = 1.0 / (s - std::conj(t.pole));
+      for (std::size_t i = 0; i < p; ++i) {
+        h(i, k) += t.residue[i] * f1 + std::conj(t.residue[i]) * f2;
+      }
+    }
+  }
+  return h;
+}
+
+ComplexMatrix PoleResidueModel::eval(double omega) const {
+  return eval(Complex(0.0, omega));
+}
+
+bool PoleResidueModel::is_stable() const noexcept {
+  for (const auto& col : columns_) {
+    for (const auto& t : col.real_terms) {
+      if (t.pole >= 0.0) return false;
+    }
+    for (const auto& t : col.complex_terms) {
+      if (t.pole.real() >= 0.0) return false;
+    }
+  }
+  return true;
+}
+
+double PoleResidueModel::max_pole_magnitude() const noexcept {
+  double m = 0.0;
+  for (const auto& col : columns_) {
+    for (const auto& t : col.real_terms) m = std::max(m, std::abs(t.pole));
+    for (const auto& t : col.complex_terms) m = std::max(m, std::abs(t.pole));
+  }
+  return m;
+}
+
+}  // namespace phes::macromodel

@@ -1,0 +1,62 @@
+#include "phes/macromodel/samples.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phes/la/blas.hpp"
+#include "phes/macromodel/pole_residue.hpp"
+#include "phes/util/check.hpp"
+
+namespace phes::macromodel {
+
+void FrequencySamples::check_consistency() const {
+  util::check(omega.size() == h.size(),
+              "FrequencySamples: omega/h length mismatch");
+  for (std::size_t k = 1; k < omega.size(); ++k) {
+    util::check(omega[k] > omega[k - 1],
+                "FrequencySamples: frequencies must increase strictly");
+  }
+  for (const auto& m : h) {
+    util::check(m.rows() == ports() && m.cols() == ports(),
+                "FrequencySamples: inconsistent matrix sizes");
+  }
+}
+
+FrequencySamples sample_model(const PoleResidueModel& model, double omega_min,
+                              double omega_max, std::size_t count) {
+  util::check(count >= 2 && omega_max > omega_min && omega_min > 0.0,
+              "sample_model: invalid grid");
+  FrequencySamples out;
+  out.omega.resize(count);
+  out.h.reserve(count);
+  const double log_lo = std::log(omega_min);
+  const double log_hi = std::log(omega_max);
+  for (std::size_t k = 0; k < count; ++k) {
+    const double w = std::exp(log_lo + (log_hi - log_lo) *
+                                           static_cast<double>(k) /
+                                           static_cast<double>(count - 1));
+    out.omega[k] = w;
+    out.h.push_back(model.eval(w));
+  }
+  return out;
+}
+
+double max_relative_error(const PoleResidueModel& model,
+                          const FrequencySamples& reference) {
+  double worst = 0.0;
+  double scale = 0.0;
+  for (std::size_t k = 0; k < reference.count(); ++k) {
+    const auto hm = model.eval(reference.omega[k]);
+    double err = 0.0;
+    for (std::size_t i = 0; i < hm.rows(); ++i) {
+      for (std::size_t j = 0; j < hm.cols(); ++j) {
+        err += std::norm(hm(i, j) - reference.h[k](i, j));
+      }
+    }
+    worst = std::max(worst, std::sqrt(err));
+    scale = std::max(scale, la::frobenius_norm(reference.h[k]));
+  }
+  return scale > 0.0 ? worst / scale : worst;
+}
+
+}  // namespace phes::macromodel

@@ -1,0 +1,87 @@
+#include "phes/macromodel/samples_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "phes/util/check.hpp"
+
+namespace phes::macromodel {
+
+void save_samples(const FrequencySamples& samples, std::ostream& os) {
+  samples.check_consistency();
+  const std::size_t p = samples.ports();
+  os << "# phes-samples v1\n";
+  os << "ports " << p << '\n';
+  os << "points " << samples.count() << '\n';
+  os << std::setprecision(17);
+  for (std::size_t k = 0; k < samples.count(); ++k) {
+    os << "omega " << samples.omega[k] << '\n';
+    for (std::size_t i = 0; i < p; ++i) {
+      for (std::size_t j = 0; j < p; ++j) {
+        const auto& h = samples.h[k](i, j);
+        os << h.real() << ' ' << h.imag();
+        os << (j + 1 < p ? ' ' : '\n');
+      }
+    }
+  }
+  util::require(os.good(), "save_samples: stream write failed");
+}
+
+FrequencySamples load_samples(std::istream& is) {
+  auto next_token = [&is]() {
+    std::string tok;
+    while (is >> tok) {
+      if (tok[0] == '#') {
+        std::string rest;
+        std::getline(is, rest);  // discard comment line
+        continue;
+      }
+      return tok;
+    }
+    throw std::runtime_error("load_samples: unexpected end of input");
+  };
+
+  util::require(next_token() == "ports",
+                "load_samples: expected 'ports' header");
+  const std::size_t p = std::stoul(next_token());
+  util::require(p > 0, "load_samples: ports must be positive");
+  util::require(next_token() == "points",
+                "load_samples: expected 'points' header");
+  const std::size_t count = std::stoul(next_token());
+
+  FrequencySamples out;
+  out.omega.reserve(count);
+  out.h.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    util::require(next_token() == "omega",
+                  "load_samples: expected 'omega' record");
+    out.omega.push_back(std::stod(next_token()));
+    la::ComplexMatrix h(p, p);
+    for (std::size_t i = 0; i < p; ++i) {
+      for (std::size_t j = 0; j < p; ++j) {
+        const double re = std::stod(next_token());
+        const double im = std::stod(next_token());
+        h(i, j) = la::Complex(re, im);
+      }
+    }
+    out.h.push_back(std::move(h));
+  }
+  out.check_consistency();
+  return out;
+}
+
+void save_samples_file(const FrequencySamples& samples,
+                       const std::string& path) {
+  std::ofstream os(path);
+  util::require(os.is_open(), "save_samples_file: cannot open " + path);
+  save_samples(samples, os);
+}
+
+FrequencySamples load_samples_file(const std::string& path) {
+  std::ifstream is(path);
+  util::require(is.is_open(), "load_samples_file: cannot open " + path);
+  return load_samples(is);
+}
+
+}  // namespace phes::macromodel

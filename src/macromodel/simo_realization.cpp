@@ -1,0 +1,205 @@
+#include "phes/macromodel/simo_realization.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phes::macromodel {
+
+SimoRealization::SimoRealization(const PoleResidueModel& model)
+    : d_(model.d()) {
+  const std::size_t p = model.ports();
+  order_ = model.order();
+  c_ = RealMatrix(p, order_);
+
+  std::size_t state = 0;
+  for (std::size_t k = 0; k < p; ++k) {
+    const auto& col = model.columns()[k];
+    for (const auto& t : col.real_terms) {
+      SimoBlock blk;
+      blk.state = state;
+      blk.column = k;
+      blk.is_pair = false;
+      blk.alpha = t.pole;
+      blocks_.push_back(blk);
+      for (std::size_t i = 0; i < p; ++i) c_(i, state) = t.residue[i];
+      state += 1;
+    }
+    for (const auto& t : col.complex_terms) {
+      SimoBlock blk;
+      blk.state = state;
+      blk.column = k;
+      blk.is_pair = true;
+      blk.alpha = t.pole.real();
+      blk.beta = t.pole.imag();
+      blocks_.push_back(blk);
+      // Real realization of r/(s-l) + r*/(s-l*) with b = (1, 0)^T:
+      // C columns are [2 Re r, 2 Im r].
+      for (std::size_t i = 0; i < p; ++i) {
+        c_(i, state) = 2.0 * t.residue[i].real();
+        c_(i, state + 1) = 2.0 * t.residue[i].imag();
+      }
+      state += 2;
+    }
+  }
+}
+
+double SimoRealization::max_pole_magnitude() const noexcept {
+  double m = 0.0;
+  for (const auto& blk : blocks_) {
+    m = std::max(m, std::hypot(blk.alpha, blk.beta));
+  }
+  return m;
+}
+
+void SimoRealization::solve_a_minus(Complex s, std::span<const Complex> x,
+                                    std::span<Complex> y) const {
+  util::check(x.size() == order_ && y.size() == order_,
+              "SimoRealization::solve_a_minus: size mismatch");
+  for (const auto& blk : blocks_) {
+    if (blk.is_pair) {
+      // Solve [[alpha-s, beta], [-beta, alpha-s]] y = x in closed form.
+      const Complex g = Complex(blk.alpha, 0.0) - s;
+      const Complex det = g * g + blk.beta * blk.beta;
+      const Complex x1 = x[blk.state], x2 = x[blk.state + 1];
+      y[blk.state] = (g * x1 - blk.beta * x2) / det;
+      y[blk.state + 1] = (blk.beta * x1 + g * x2) / det;
+    } else {
+      y[blk.state] = x[blk.state] / (Complex(blk.alpha, 0.0) - s);
+    }
+  }
+}
+
+void SimoRealization::solve_at_minus(Complex s, std::span<const Complex> x,
+                                     std::span<Complex> y) const {
+  util::check(x.size() == order_ && y.size() == order_,
+              "SimoRealization::solve_at_minus: size mismatch");
+  for (const auto& blk : blocks_) {
+    if (blk.is_pair) {
+      // A^T block is [[alpha, -beta], [beta, alpha]].
+      const Complex g = Complex(blk.alpha, 0.0) - s;
+      const Complex det = g * g + blk.beta * blk.beta;
+      const Complex x1 = x[blk.state], x2 = x[blk.state + 1];
+      y[blk.state] = (g * x1 + blk.beta * x2) / det;
+      y[blk.state + 1] = (-blk.beta * x1 + g * x2) / det;
+    } else {
+      y[blk.state] = x[blk.state] / (Complex(blk.alpha, 0.0) - s);
+    }
+  }
+}
+
+void SimoRealization::apply_c(std::span<const Complex> x,
+                              std::span<Complex> y) const {
+  util::check(x.size() == order_ && y.size() == ports(),
+              "SimoRealization::apply_c: size mismatch");
+  const std::size_t p = ports();
+  for (std::size_t i = 0; i < p; ++i) {
+    const double* row = c_.row_ptr(i);
+    Complex acc{};
+    for (std::size_t j = 0; j < order_; ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+}
+
+void SimoRealization::apply_ct(std::span<const Complex> y,
+                               std::span<Complex> x) const {
+  util::check(y.size() == ports() && x.size() == order_,
+              "SimoRealization::apply_ct: size mismatch");
+  const std::size_t p = ports();
+  for (auto& v : x) v = Complex{};
+  for (std::size_t i = 0; i < p; ++i) {
+    const double* row = c_.row_ptr(i);
+    const Complex yi = y[i];
+    for (std::size_t j = 0; j < order_; ++j) x[j] += row[j] * yi;
+  }
+}
+
+ComplexMatrix SimoRealization::eval(Complex s) const {
+  const std::size_t p = ports();
+  ComplexMatrix h(p, p);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t k = 0; k < p; ++k) h(i, k) = Complex(d_(i, k), 0.0);
+  }
+  // Per block: z = (sI - A_blk)^{-1} b_blk, then H(:, col) += C_blk z.
+  for (const auto& blk : blocks_) {
+    if (blk.is_pair) {
+      const Complex g = s - blk.alpha;
+      const Complex det = g * g + blk.beta * blk.beta;
+      const Complex z1 = g / det;
+      const Complex z2 = -blk.beta / det;
+      for (std::size_t i = 0; i < p; ++i) {
+        h(i, blk.column) += c_(i, blk.state) * z1 + c_(i, blk.state + 1) * z2;
+      }
+    } else {
+      const Complex z = 1.0 / (s - blk.alpha);
+      for (std::size_t i = 0; i < p; ++i) {
+        h(i, blk.column) += c_(i, blk.state) * z;
+      }
+    }
+  }
+  return h;
+}
+
+void SimoRealization::resolvent_b(Complex s, std::span<const Complex> v,
+                                  std::span<Complex> z) const {
+  util::check(v.size() == ports() && z.size() == order_,
+              "SimoRealization::resolvent_b: size mismatch");
+  for (const auto& blk : blocks_) {
+    const Complex u = v[blk.column];
+    if (blk.is_pair) {
+      const Complex g = s - blk.alpha;
+      const Complex det = g * g + blk.beta * blk.beta;
+      z[blk.state] = g * u / det;
+      z[blk.state + 1] = -blk.beta * u / det;
+    } else {
+      z[blk.state] = u / (s - blk.alpha);
+    }
+  }
+}
+
+StateSpaceModel SimoRealization::to_dense() const {
+  const std::size_t n = order_, p = ports();
+  StateSpaceModel ss;
+  ss.a = RealMatrix(n, n);
+  ss.b = RealMatrix(n, p);
+  ss.c = c_;
+  ss.d = d_;
+  for (const auto& blk : blocks_) {
+    if (blk.is_pair) {
+      ss.a(blk.state, blk.state) = blk.alpha;
+      ss.a(blk.state, blk.state + 1) = blk.beta;
+      ss.a(blk.state + 1, blk.state) = -blk.beta;
+      ss.a(blk.state + 1, blk.state + 1) = blk.alpha;
+      ss.b(blk.state, blk.column) = 1.0;
+    } else {
+      ss.a(blk.state, blk.state) = blk.alpha;
+      ss.b(blk.state, blk.column) = 1.0;
+    }
+  }
+  return ss;
+}
+
+PoleResidueModel SimoRealization::to_pole_residue() const {
+  const std::size_t p = ports();
+  std::vector<PoleResidueColumn> columns(p);
+  for (const auto& blk : blocks_) {
+    if (blk.is_pair) {
+      ComplexPoleTerm t;
+      t.pole = Complex(blk.alpha, blk.beta);
+      t.residue.resize(p);
+      for (std::size_t i = 0; i < p; ++i) {
+        t.residue[i] =
+            Complex(0.5 * c_(i, blk.state), 0.5 * c_(i, blk.state + 1));
+      }
+      columns[blk.column].complex_terms.push_back(std::move(t));
+    } else {
+      RealPoleTerm t;
+      t.pole = blk.alpha;
+      t.residue.resize(p);
+      for (std::size_t i = 0; i < p; ++i) t.residue[i] = c_(i, blk.state);
+      columns[blk.column].real_terms.push_back(std::move(t));
+    }
+  }
+  return PoleResidueModel(d_, std::move(columns));
+}
+
+}  // namespace phes::macromodel

@@ -1,0 +1,41 @@
+#include "phes/macromodel/statespace.hpp"
+
+#include "phes/la/blas.hpp"
+#include "phes/la/lu.hpp"
+#include "phes/util/check.hpp"
+
+namespace phes::macromodel {
+
+void StateSpaceModel::check_shapes() const {
+  util::check(a.is_square(), "StateSpaceModel: A must be square");
+  util::check(d.is_square(), "StateSpaceModel: D must be square");
+  util::check(b.rows() == a.rows() && b.cols() == d.cols(),
+              "StateSpaceModel: B must be n x p");
+  util::check(c.rows() == d.rows() && c.cols() == a.cols(),
+              "StateSpaceModel: C must be p x n");
+}
+
+ComplexMatrix StateSpaceModel::eval(Complex s) const {
+  const std::size_t n = order(), p = ports();
+  // (sI - A) Z = B  column by column.
+  ComplexMatrix shifted(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) shifted(i, j) = Complex(-a(i, j), 0.0);
+    shifted(i, i) += s;
+  }
+  la::LuFactorization<Complex> lu(shifted);
+  ComplexMatrix h(p, p);
+  for (std::size_t k = 0; k < p; ++k) {
+    la::ComplexVector bk(n);
+    for (std::size_t i = 0; i < n; ++i) bk[i] = Complex(b(i, k), 0.0);
+    const auto z = lu.solve(bk);
+    for (std::size_t i = 0; i < p; ++i) {
+      Complex acc(d(i, k), 0.0);
+      for (std::size_t l = 0; l < n; ++l) acc += c(i, l) * z[l];
+      h(i, k) = acc;
+    }
+  }
+  return h;
+}
+
+}  // namespace phes::macromodel

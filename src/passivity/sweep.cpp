@@ -1,0 +1,61 @@
+#include "phes/passivity/sweep.hpp"
+
+#include <cmath>
+
+#include "phes/la/svd.hpp"
+#include "phes/util/check.hpp"
+
+namespace phes::passivity {
+
+SweepResult sampling_passivity_check(
+    const macromodel::SimoRealization& realization,
+    const SweepOptions& opt) {
+  util::check(opt.omega_max > opt.omega_min,
+              "sampling_passivity_check: empty band");
+  util::check(opt.initial_grid >= 2,
+              "sampling_passivity_check: need >= 2 grid points");
+
+  auto sigma_at = [&](double w) {
+    return la::complex_spectral_norm(realization.eval(w));
+  };
+
+  SweepResult res;
+  const std::size_t n = opt.initial_grid;
+  la::RealVector omega(n), sigma(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t =
+        static_cast<double>(i) / static_cast<double>(n - 1);
+    omega[i] = opt.omega_min + t * (opt.omega_max - opt.omega_min);
+    sigma[i] = sigma_at(omega[i]);
+    if (sigma[i] > res.worst_sigma) {
+      res.worst_sigma = sigma[i];
+      res.worst_omega = omega[i];
+    }
+  }
+
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const bool lo_above = sigma[i] > opt.threshold;
+    const bool hi_above = sigma[i + 1] > opt.threshold;
+    if (lo_above == hi_above) continue;
+    // Bisect the sign change of sigma_max - threshold.
+    double a = omega[i], b = omega[i + 1];
+    double fa = sigma[i];
+    for (std::size_t level = 0; level < opt.refine_levels * 6; ++level) {
+      const double mid = 0.5 * (a + b);
+      const double fm = sigma_at(mid);
+      res.worst_sigma = std::max(res.worst_sigma, fm);
+      if ((fa > opt.threshold) == (fm > opt.threshold)) {
+        a = mid;
+        fa = fm;
+      } else {
+        b = mid;
+      }
+    }
+    res.estimated_crossings.push_back(0.5 * (a + b));
+  }
+
+  res.passive = res.worst_sigma <= opt.threshold;
+  return res;
+}
+
+}  // namespace phes::passivity

@@ -1,0 +1,33 @@
+#include "phes/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phes::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+RunningStats summarize(std::span<const double> xs) noexcept {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s;
+}
+
+}  // namespace phes::util

@@ -1,0 +1,117 @@
+// Tests for balanced-truncation model order reduction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phes/la/blas.hpp"
+#include "phes/la/schur.hpp"
+#include "phes/la/svd.hpp"
+#include "phes/macromodel/balanced_truncation.hpp"
+#include "phes/macromodel/generator.hpp"
+#include "phes/macromodel/gramians.hpp"
+#include "phes/macromodel/simo_realization.hpp"
+#include "test_support.hpp"
+
+namespace phes {
+namespace {
+
+using macromodel::balanced_truncation;
+using macromodel::SimoRealization;
+using macromodel::StateSpaceModel;
+
+StateSpaceModel make_dense_model(std::uint64_t seed, std::size_t states,
+                                 std::size_t ports) {
+  macromodel::SyntheticModelSpec spec;
+  spec.ports = ports;
+  spec.states = states;
+  spec.target_peak_gain = 0.9;
+  spec.seed = seed;
+  const auto model = macromodel::make_synthetic_model(spec);
+  return SimoRealization(model).to_dense();
+}
+
+double sampled_error(const StateSpaceModel& a, const StateSpaceModel& b,
+                     double w_lo, double w_hi, int points) {
+  double worst = 0.0;
+  for (int i = 0; i < points; ++i) {
+    const double w = w_lo + (w_hi - w_lo) * i / (points - 1.0);
+    la::ComplexMatrix diff = a.eval(w);
+    diff -= b.eval(w);
+    worst = std::max(worst, la::complex_spectral_norm(diff));
+  }
+  return worst;
+}
+
+TEST(BalancedTruncation, ReducedModelIsStable) {
+  const auto full = make_dense_model(1, 24, 2);
+  const auto red = balanced_truncation(full, 10);
+  EXPECT_EQ(red.reduced.order(), 10u);
+  for (const auto& l : la::real_eigenvalues(red.reduced.a)) {
+    EXPECT_LT(l.real(), 0.0);
+  }
+}
+
+TEST(BalancedTruncation, ErrorBoundHolds) {
+  const auto full = make_dense_model(2, 24, 2);
+  for (std::size_t k : {6u, 12u, 18u}) {
+    const auto red = balanced_truncation(full, k);
+    const double err = sampled_error(full, red.reduced, 0.05, 15.0, 200);
+    EXPECT_LE(err, red.error_bound * (1.0 + 1e-6))
+        << "twice-sum bound violated at order " << k;
+  }
+}
+
+TEST(BalancedTruncation, ErrorShrinksWithOrder) {
+  const auto full = make_dense_model(3, 24, 2);
+  double prev = 1e300;
+  for (std::size_t k : {4u, 10u, 16u, 22u}) {
+    const auto red = balanced_truncation(full, k);
+    const double err = sampled_error(full, red.reduced, 0.05, 15.0, 120);
+    EXPECT_LE(err, prev * (1.0 + 1e-9));
+    prev = err;
+  }
+}
+
+TEST(BalancedTruncation, HsvsMatchGramianRoute) {
+  const auto full = make_dense_model(4, 20, 2);
+  const auto red = balanced_truncation(full, 10);
+  const auto hsv_direct = macromodel::hankel_singular_values(full);
+  ASSERT_EQ(red.hankel_sv.size(), hsv_direct.size());
+  for (std::size_t i = 0; i < hsv_direct.size(); ++i) {
+    EXPECT_NEAR(red.hankel_sv[i], hsv_direct[i],
+                1e-7 * (1.0 + hsv_direct[0]));
+  }
+}
+
+TEST(BalancedTruncation, ReducedGramiansAreBalanced) {
+  // In the balanced realization both gramians equal diag(HSV); after
+  // truncation the leading block survives.
+  const auto full = make_dense_model(5, 18, 2);
+  const auto red = balanced_truncation(full, 8);
+  const auto p = macromodel::controllability_gramian(red.reduced);
+  const auto q = macromodel::observability_gramian(red.reduced);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(p(i, i), red.hankel_sv[i], 1e-6 * (1.0 + red.hankel_sv[0]));
+    EXPECT_NEAR(q(i, i), red.hankel_sv[i], 1e-6 * (1.0 + red.hankel_sv[0]));
+  }
+}
+
+TEST(BalancedTruncation, OrderForTolerance) {
+  const la::RealVector hsv{5.0, 1.0, 0.1, 0.01, 0.001};
+  // tol = 0.25: can discard 0.001 + 0.01 + 0.1 (2*0.111 = 0.222 <= 0.25)
+  EXPECT_EQ(macromodel::order_for_tolerance(hsv, 0.25), 2u);
+  // tol huge: everything goes.
+  EXPECT_EQ(macromodel::order_for_tolerance(hsv, 100.0), 0u);
+  EXPECT_THROW((void)macromodel::order_for_tolerance(hsv, 0.0),
+               std::invalid_argument);
+}
+
+TEST(BalancedTruncation, RejectsBadOrders) {
+  const auto full = make_dense_model(6, 12, 2);
+  EXPECT_THROW(balanced_truncation(full, 0), std::invalid_argument);
+  EXPECT_THROW(balanced_truncation(full, 12), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phes

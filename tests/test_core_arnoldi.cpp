@@ -1,0 +1,162 @@
+// Tests for the deflated Arnoldi process and Ritz extraction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "phes/core/arnoldi.hpp"
+#include "phes/hamiltonian/operators.hpp"
+#include "phes/la/blas.hpp"
+#include "test_support.hpp"
+
+namespace phes {
+namespace {
+
+using core::arnoldi;
+using core::ritz_pairs;
+using la::Complex;
+using la::ComplexMatrix;
+using la::ComplexVector;
+
+/// Dense matrix wrapped as an implicit operator (test double).
+class DenseOp final : public hamiltonian::ComplexLinearOperator {
+ public:
+  explicit DenseOp(ComplexMatrix m) : m_(std::move(m)) {}
+  [[nodiscard]] std::size_t dim() const noexcept override {
+    return m_.rows();
+  }
+  void apply(std::span<const Complex> x,
+             std::span<Complex> y) const override {
+    const auto r = la::gemv(m_, x);
+    std::copy(r.begin(), r.end(), y.begin());
+  }
+
+ private:
+  ComplexMatrix m_;
+};
+
+ComplexMatrix diagonal_matrix(const ComplexVector& d) {
+  ComplexMatrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+TEST(Arnoldi, BasisIsOrthonormal) {
+  util::Rng rng(1);
+  const DenseOp op(test::random_complex_matrix(30, 30, rng));
+  const auto v0 = core::random_start_vector(30, rng);
+  const auto ar = arnoldi(op, v0, 12, {});
+  ASSERT_EQ(ar.steps, 12u);
+  for (std::size_t i = 0; i <= 12; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      Complex g{};
+      for (std::size_t k = 0; k < 30; ++k) {
+        g += std::conj(ar.v_rows(i, k)) * ar.v_rows(j, k);
+      }
+      const double expected = (i == j) ? 1.0 : 0.0;
+      EXPECT_NEAR(std::abs(g), expected, 1e-10) << i << "," << j;
+    }
+  }
+}
+
+TEST(Arnoldi, HessenbergRelationHolds) {
+  // Op * V_d == V_{d+1} * H  (the Arnoldi identity).
+  util::Rng rng(2);
+  ComplexMatrix m = test::random_complex_matrix(25, 25, rng);
+  const DenseOp op(m);
+  const auto v0 = core::random_start_vector(25, rng);
+  const std::size_t d = 10;
+  const auto ar = arnoldi(op, v0, d, {});
+  for (std::size_t j = 0; j < d; ++j) {
+    ComplexVector vj(25), av(25);
+    for (std::size_t i = 0; i < 25; ++i) vj[i] = ar.v_rows(j, i);
+    op.apply(vj, av);
+    for (std::size_t i = 0; i < 25; ++i) {
+      Complex rec{};
+      for (std::size_t k = 0; k <= d; ++k) {
+        rec += ar.v_rows(k, i) * ar.h(k, j);
+      }
+      EXPECT_NEAR(std::abs(rec - av[i]), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Arnoldi, FindsDominantEigenvalueOfDiagonal) {
+  // Geometric spectrum: well-separated, so d = 15 converges the
+  // dominant eigenvalue to full accuracy.
+  util::Rng rng(3);
+  ComplexVector diag;
+  for (int i = 1; i <= 20; ++i) {
+    diag.emplace_back(0.1 * std::pow(1.4, i), 0.05 * std::pow(1.4, i));
+  }
+  const DenseOp op(diagonal_matrix(diag));
+  const auto v0 = core::random_start_vector(20, rng);
+  const auto ar = arnoldi(op, v0, 15, {});
+  const auto pairs = ritz_pairs(ar, false);
+  ASSERT_FALSE(pairs.empty());
+  // pairs[0] is the largest-|value| Ritz value; must match diag.back().
+  EXPECT_NEAR(std::abs(pairs.front().value - diag.back()), 0.0, 1e-8);
+  EXPECT_LT(pairs.front().residual, 1e-8);
+}
+
+TEST(Arnoldi, LuckyBreakdownOnLowRankStart) {
+  // Start vector is an exact eigenvector: Krylov space is 1-dim.
+  ComplexVector diag{Complex(2.0, 0.0), Complex(3.0, 0.0)};
+  const DenseOp op(diagonal_matrix(diag));
+  ComplexVector v0{Complex(1.0, 0.0), Complex(0.0, 0.0)};
+  const auto ar = arnoldi(op, v0, 1, {});
+  EXPECT_EQ(ar.steps, 1u);
+  const auto pairs = ritz_pairs(ar, false);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_NEAR(std::abs(pairs[0].value - Complex(2.0, 0.0)), 0.0, 1e-12);
+}
+
+TEST(Arnoldi, DeflationFindsSecondEigenvalue) {
+  // Geometric spectrum 1.5^i: strong gaps make both runs converge.
+  util::Rng rng(4);
+  ComplexVector diag;
+  for (int i = 1; i <= 15; ++i) diag.emplace_back(std::pow(1.5, i), 0.0);
+  const DenseOp op(diagonal_matrix(diag));
+  const Complex top = diag.back();
+  const Complex second = diag[13];
+
+  // First run: converge the dominant eigenpair.
+  auto ar1 = arnoldi(op, core::random_start_vector(15, rng), 12, {});
+  auto pairs1 = ritz_pairs(ar1, true);
+  ASSERT_NEAR(std::abs(pairs1.front().value - top) / std::abs(top), 0.0,
+              1e-9);
+
+  // Lock it; second run must converge the next eigenvalue as dominant.
+  std::vector<ComplexVector> locked{pairs1.front().vector};
+  auto ar2 = arnoldi(op, core::random_start_vector(15, rng), 12, locked);
+  auto pairs2 = ritz_pairs(ar2, false);
+  EXPECT_NEAR(std::abs(pairs2.front().value - second) / std::abs(second),
+              0.0, 1e-8);
+}
+
+TEST(Arnoldi, StartVectorInLockedSubspaceThrows) {
+  ComplexVector diag{Complex(1, 0), Complex(2, 0), Complex(3, 0)};
+  const DenseOp op(diagonal_matrix(diag));
+  ComplexVector e0{Complex(1, 0), Complex(0, 0), Complex(0, 0)};
+  std::vector<ComplexVector> locked{e0};
+  EXPECT_THROW(arnoldi(op, e0, 2, locked), std::runtime_error);
+}
+
+TEST(Arnoldi, DimensionChecks) {
+  ComplexVector diag{Complex(1, 0), Complex(2, 0)};
+  const DenseOp op(diagonal_matrix(diag));
+  ComplexVector bad(3);
+  EXPECT_THROW(arnoldi(op, bad, 1, {}), std::invalid_argument);
+  ComplexVector good(2, Complex(1.0, 0.0));
+  EXPECT_THROW(arnoldi(op, good, 2, {}), std::invalid_argument);  // d >= dim
+}
+
+TEST(Arnoldi, RandomStartVectorIsUnitNorm) {
+  util::Rng rng(9);
+  const auto v = core::random_start_vector(100, rng);
+  EXPECT_NEAR(la::nrm2<Complex>(v), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace phes

@@ -1,0 +1,145 @@
+// Tests for the Lyapunov solver and gramian/Hankel machinery.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phes/la/blas.hpp"
+#include "phes/la/lyapunov.hpp"
+#include "phes/la/svd.hpp"
+#include "phes/macromodel/generator.hpp"
+#include "phes/macromodel/gramians.hpp"
+#include "phes/macromodel/simo_realization.hpp"
+#include "phes/passivity/enforcement.hpp"
+#include "test_support.hpp"
+
+namespace phes {
+namespace {
+
+using la::RealMatrix;
+using la::solve_lyapunov;
+using macromodel::SimoRealization;
+using macromodel::StateSpaceModel;
+
+TEST(Lyapunov, ScalarAnalytic) {
+  // a x + x a + q = 0 with a = -1, q = 2  =>  x = 1.
+  RealMatrix a{{-1.0}};
+  RealMatrix q{{2.0}};
+  const auto x = solve_lyapunov(a, q);
+  EXPECT_NEAR(x(0, 0), 1.0, 1e-12);
+}
+
+TEST(Lyapunov, DiagonalAnalytic) {
+  // Decoupled: x_ii = q_ii / (2 |a_ii|).
+  RealMatrix a{{-2.0, 0.0}, {0.0, -5.0}};
+  RealMatrix q{{4.0, 0.0}, {0.0, 10.0}};
+  const auto x = solve_lyapunov(a, q);
+  EXPECT_NEAR(x(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(1, 1), 1.0, 1e-12);
+  EXPECT_NEAR(x(0, 1), 0.0, 1e-12);
+}
+
+class LyapunovProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LyapunovProperty, ResidualSmallAndSymmetric) {
+  util::Rng rng(600 + static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 3 + rng.below(15);
+  // Stable A: random minus a diagonal shift dominating its norm.
+  RealMatrix a = test::random_real_matrix(n, n, rng);
+  const double shift = la::frobenius_norm(a) + 1.0;
+  for (std::size_t i = 0; i < n; ++i) a(i, i) -= shift;
+  // PSD Q = G G^T.
+  const RealMatrix g = test::random_real_matrix(n, n, rng);
+  const RealMatrix q = la::gemm(g, la::transpose(g));
+
+  const auto x = solve_lyapunov(a, q);
+  // Residual A X + X A^T + Q ~ 0.
+  const RealMatrix resid =
+      la::gemm(a, x) + la::gemm(x, la::transpose(a)) + q;
+  EXPECT_LT(la::max_abs(resid), 1e-8 * (1.0 + la::max_abs(q)));
+  // Symmetry.
+  EXPECT_LT(la::max_abs(x - la::transpose(x)), 1e-10 * (1.0 + la::max_abs(x)));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomStable, LyapunovProperty,
+                         ::testing::Range(0, 10));
+
+TEST(Gramians, OnePoleAnalytic) {
+  // H(s) = r/(s + a):  P = 1/(2a), Q = r^2/(2a), HSV = r/(2a).
+  StateSpaceModel ss;
+  ss.a = RealMatrix{{-3.0}};
+  ss.b = RealMatrix{{1.0}};
+  ss.c = RealMatrix{{4.0}};
+  ss.d = RealMatrix(1, 1);
+  const auto p = macromodel::controllability_gramian(ss);
+  const auto q = macromodel::observability_gramian(ss);
+  EXPECT_NEAR(p(0, 0), 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(q(0, 0), 16.0 / 6.0, 1e-12);
+  const auto hsv = macromodel::hankel_singular_values(ss);
+  ASSERT_EQ(hsv.size(), 1u);
+  EXPECT_NEAR(hsv[0], 4.0 / 6.0, 1e-12);
+}
+
+TEST(Gramians, HinfBoundDominatesSampledNorm) {
+  macromodel::SyntheticModelSpec spec;
+  spec.ports = 3;
+  spec.states = 24;
+  spec.target_peak_gain = 1.1;
+  spec.seed = 5;
+  const auto model = macromodel::make_synthetic_model(spec);
+  const SimoRealization simo(model);
+  const auto ss = simo.to_dense();
+
+  const double bound = macromodel::hinf_upper_bound(ss);
+  double sampled = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    const double w = 0.05 + 20.0 * i / 399.0;
+    sampled = std::max(sampled, la::complex_spectral_norm(model.eval(w)));
+  }
+  EXPECT_GE(bound, sampled);
+  EXPECT_LT(bound, 200.0 * sampled);  // not uselessly loose
+}
+
+TEST(Gramians, EnforcementPerturbationBoundHolds) {
+  // The Hankel bound on ||H_after - H_before||_inf must dominate the
+  // sampled perturbation after a real enforcement run.
+  macromodel::SyntheticModelSpec spec;
+  spec.ports = 3;
+  spec.states = 30;
+  spec.target_peak_gain = 1.06;
+  spec.seed = 6;
+  const auto model = macromodel::make_synthetic_model(spec);
+  SimoRealization simo(model);
+  const RealMatrix c_before = simo.c();
+
+  passivity::EnforcementOptions eopt;
+  eopt.solver.threads = 2;
+  const auto enf = passivity::enforce_passivity(simo, eopt);
+  ASSERT_TRUE(enf.success);
+
+  const double bound = macromodel::perturbation_hinf_bound(simo, c_before);
+  // Sampled actual perturbation.
+  const auto after = simo.to_pole_residue();
+  double actual = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    const double w = 0.05 + 15.0 * i / 299.0;
+    la::ComplexMatrix diff = after.eval(w);
+    diff -= model.eval(w);
+    actual = std::max(actual, la::complex_spectral_norm(diff));
+  }
+  EXPECT_GE(bound * (1.0 + 1e-9), actual);
+  EXPECT_GT(bound, 0.0);
+}
+
+TEST(Gramians, ShapeChecks) {
+  StateSpaceModel bad;
+  bad.a = RealMatrix(2, 2);
+  bad.b = RealMatrix(3, 1);  // wrong
+  bad.c = RealMatrix(1, 2);
+  bad.d = RealMatrix(1, 1);
+  EXPECT_THROW(macromodel::controllability_gramian(bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phes

@@ -1,0 +1,186 @@
+// Tests for the dense eigensolvers: Hessenberg reduction, real Schur
+// (Francis double-shift QR), and the complex Hessenberg QR iteration.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "phes/la/blas.hpp"
+#include "phes/la/eig.hpp"
+#include "phes/la/hessenberg.hpp"
+#include "phes/la/lu.hpp"
+#include "phes/la/schur.hpp"
+#include "test_support.hpp"
+
+namespace phes {
+namespace {
+
+using la::Complex;
+using la::ComplexMatrix;
+using la::ComplexVector;
+using la::RealMatrix;
+
+TEST(Hessenberg, RealStructureAndSimilarity) {
+  util::Rng rng(1);
+  const RealMatrix a = test::random_real_matrix(8, 8, rng);
+  const auto [h, q] = la::hessenberg_reduce(a, true);
+  // Structure: zero below first subdiagonal.
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j + 1 < i; ++j) EXPECT_DOUBLE_EQ(h(i, j), 0.0);
+  }
+  // Similarity: Q H Q^T == A.
+  const RealMatrix rec = la::gemm(la::gemm(q, h), la::transpose(q));
+  EXPECT_LT(test::max_abs_diff(rec, a), 1e-11);
+  // Orthogonality.
+  const RealMatrix qtq = la::gemm(la::transpose(q), q);
+  EXPECT_LT(test::max_abs_diff(qtq, RealMatrix::identity(8)), 1e-12);
+}
+
+TEST(Hessenberg, ComplexStructureAndSimilarity) {
+  util::Rng rng(2);
+  const ComplexMatrix a = test::random_complex_matrix(7, 7, rng);
+  const auto [h, q] = la::hessenberg_reduce(a, true);
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = 0; j + 1 < i; ++j) {
+      EXPECT_EQ(h(i, j), Complex{});
+    }
+  }
+  const ComplexMatrix rec = la::gemm(la::gemm(q, h), la::adjoint(q));
+  EXPECT_LT(test::max_abs_diff(rec, a), 1e-11);
+}
+
+TEST(RealSchur, DiagonalMatrix) {
+  RealMatrix a{{3, 0, 0}, {0, -1, 0}, {0, 0, 5}};
+  const auto ev = la::real_eigenvalues(a);
+  EXPECT_NEAR(test::spectrum_distance(
+                  ev, {Complex(3, 0), Complex(-1, 0), Complex(5, 0)}),
+              0.0, 1e-12);
+}
+
+TEST(RealSchur, KnownComplexPair) {
+  // Rotation-like matrix: eigenvalues 1 +- 2i.
+  RealMatrix a{{1, 2}, {-2, 1}};
+  const auto ev = la::real_eigenvalues(a);
+  EXPECT_NEAR(
+      test::spectrum_distance(ev, {Complex(1, 2), Complex(1, -2)}), 0.0,
+      1e-12);
+}
+
+TEST(RealSchur, SchurFactorizationReconstructs) {
+  util::Rng rng(3);
+  const RealMatrix a = test::random_real_matrix(12, 12, rng);
+  const auto schur = la::real_schur(a, true);
+  const RealMatrix rec =
+      la::gemm(la::gemm(schur.q, schur.t), la::transpose(schur.q));
+  EXPECT_LT(test::max_abs_diff(rec, a), 1e-9);
+  // T must be quasi-triangular: no two consecutive subdiagonals.
+  for (std::size_t i = 2; i < 12; ++i) {
+    const bool two_subdiags =
+        schur.t(i, i - 1) != 0.0 && schur.t(i - 1, i - 2) != 0.0;
+    EXPECT_FALSE(two_subdiags);
+  }
+}
+
+class SchurProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchurProperty, EigenvaluesSatisfyCharacteristicResidual) {
+  // Verify det-free: for each eigenvalue, smallest singular value of
+  // (A - lambda I) must be tiny relative to ||A||.
+  util::Rng rng(50 + static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 3 + rng.below(14);
+  const RealMatrix a = test::random_real_matrix(n, n, rng);
+  const auto ev = la::real_eigenvalues(a);
+  ASSERT_EQ(ev.size(), n);
+  const ComplexMatrix ac = la::to_complex(a);
+  const double scale = la::frobenius_norm(a);
+  for (const Complex& lambda : ev) {
+    ComplexMatrix shifted = ac;
+    for (std::size_t i = 0; i < n; ++i) shifted(i, i) -= lambda;
+    // Smallest singular value via the complex eigensolver of A^H A is
+    // overkill; use determinant magnitude of LU as a proxy: a tiny
+    // pivot indicates near-singularity.
+    double min_pivot = 1e300;
+    try {
+      la::LuFactorization<Complex> lu(shifted);
+      min_pivot = lu.min_pivot_magnitude();
+    } catch (const std::runtime_error&) {
+      min_pivot = 0.0;  // exactly singular: perfect eigenvalue
+    }
+    EXPECT_LT(min_pivot, 1e-5 * scale)
+        << "eigenvalue " << lambda << " does not annihilate A - lambda I";
+  }
+}
+
+TEST_P(SchurProperty, TraceAndSpectrumSumAgree) {
+  util::Rng rng(150 + static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 3 + rng.below(20);
+  const RealMatrix a = test::random_real_matrix(n, n, rng);
+  const auto ev = la::real_eigenvalues(a);
+  Complex sum{};
+  for (const auto& l : ev) sum += l;
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) trace += a(i, i);
+  EXPECT_NEAR(sum.real(), trace, 1e-8 * (1.0 + std::abs(trace)));
+  EXPECT_NEAR(sum.imag(), 0.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, SchurProperty, ::testing::Range(0, 12));
+
+TEST(ComplexEig, DiagonalKnown) {
+  ComplexMatrix a(3, 3);
+  a(0, 0) = Complex(1, 1);
+  a(1, 1) = Complex(-2, 0);
+  a(2, 2) = Complex(0, -3);
+  const auto ev = la::complex_eigenvalues(a);
+  EXPECT_NEAR(test::spectrum_distance(
+                  ev, {Complex(1, 1), Complex(-2, 0), Complex(0, -3)}),
+              0.0, 1e-12);
+}
+
+TEST(ComplexEig, MatchesRealSchurOnRealMatrix) {
+  util::Rng rng(4);
+  const RealMatrix a = test::random_real_matrix(10, 10, rng);
+  const auto ev_real = la::real_eigenvalues(a);
+  const auto ev_complex = la::complex_eigenvalues(la::to_complex(a));
+  EXPECT_LT(test::spectrum_distance(ev_real, ev_complex), 1e-7);
+}
+
+class ComplexEigProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ComplexEigProperty, EigenpairsHaveSmallResidual) {
+  util::Rng rng(200 + static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 3 + rng.below(16);
+  const ComplexMatrix a = test::random_complex_matrix(n, n, rng);
+  const auto eig = la::complex_eig(a, true);
+  ASSERT_EQ(eig.values.size(), n);
+  const double scale = la::frobenius_norm(a);
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto v = eig.vectors.col(j);
+    const auto av = la::gemv(a, std::span<const Complex>(v));
+    double resid = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      resid = std::max(resid, std::abs(av[i] - eig.values[j] * v[i]));
+    }
+    EXPECT_LT(resid, 1e-8 * (1.0 + scale));
+  }
+}
+
+TEST_P(ComplexEigProperty, HessenbergEigMatchesDense) {
+  util::Rng rng(300 + static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 4 + rng.below(20);
+  ComplexMatrix h = test::random_complex_matrix(n, n, rng);
+  // Zero below the first subdiagonal to get a Hessenberg matrix.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j + 1 < i; ++j) h(i, j) = Complex{};
+  }
+  const auto ev1 = la::hessenberg_eig(h, false).values;
+  const auto ev2 = la::complex_eigenvalues(h);
+  EXPECT_LT(test::spectrum_distance(ev1, ev2), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, ComplexEigProperty,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace phes

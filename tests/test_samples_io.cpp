@@ -1,0 +1,77 @@
+// Round-trip and error-path tests for the tabulated-samples text format.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "phes/macromodel/generator.hpp"
+#include "phes/macromodel/samples.hpp"
+#include "phes/macromodel/samples_io.hpp"
+#include "test_support.hpp"
+
+namespace phes {
+namespace {
+
+using macromodel::load_samples;
+using macromodel::sample_model;
+using macromodel::save_samples;
+
+macromodel::FrequencySamples make_samples() {
+  macromodel::SyntheticModelSpec spec;
+  spec.ports = 3;
+  spec.states = 18;
+  spec.seed = 9;
+  const auto model = macromodel::make_synthetic_model(spec);
+  return sample_model(model, 0.5, 20.0, 25);
+}
+
+TEST(SamplesIo, RoundTripIsExact) {
+  const auto original = make_samples();
+  std::stringstream ss;
+  save_samples(original, ss);
+  const auto loaded = load_samples(ss);
+  ASSERT_EQ(loaded.count(), original.count());
+  ASSERT_EQ(loaded.ports(), original.ports());
+  for (std::size_t k = 0; k < original.count(); ++k) {
+    EXPECT_DOUBLE_EQ(loaded.omega[k], original.omega[k]);
+    EXPECT_LT(test::max_abs_diff(loaded.h[k], original.h[k]), 0.0 + 1e-300);
+  }
+}
+
+TEST(SamplesIo, CommentsAreIgnored) {
+  const auto original = make_samples();
+  std::stringstream ss;
+  save_samples(original, ss);
+  std::string text = "# leading comment line\n" + ss.str();
+  std::stringstream annotated(text);
+  const auto loaded = load_samples(annotated);
+  EXPECT_EQ(loaded.count(), original.count());
+}
+
+TEST(SamplesIo, TruncatedInputThrows) {
+  const auto original = make_samples();
+  std::stringstream ss;
+  save_samples(original, ss);
+  std::string text = ss.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  EXPECT_THROW(load_samples(truncated), std::runtime_error);
+}
+
+TEST(SamplesIo, BadHeaderThrows) {
+  std::stringstream ss("bogus 3\npoints 1\n");
+  EXPECT_THROW(load_samples(ss), std::runtime_error);
+}
+
+TEST(SamplesIo, FileRoundTrip) {
+  const auto original = make_samples();
+  const std::string path = "/tmp/phes_samples_io_test.txt";
+  macromodel::save_samples_file(original, path);
+  const auto loaded = macromodel::load_samples_file(path);
+  EXPECT_EQ(loaded.count(), original.count());
+  EXPECT_THROW(macromodel::load_samples_file("/nonexistent/path.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace phes

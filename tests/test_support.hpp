@@ -1,0 +1,98 @@
+#pragma once
+// Shared helpers for the PHES test suite.
+
+#include <algorithm>
+#include <complex>
+#include <vector>
+
+#include "phes/la/blas.hpp"
+#include "phes/la/matrix.hpp"
+#include "phes/la/types.hpp"
+#include "phes/util/rng.hpp"
+
+namespace phes::test {
+
+using la::Complex;
+using la::ComplexMatrix;
+using la::ComplexVector;
+using la::RealMatrix;
+using la::RealVector;
+
+/// Random real matrix with i.i.d. standard normal entries.
+inline RealMatrix random_real_matrix(std::size_t rows, std::size_t cols,
+                                     util::Rng& rng) {
+  RealMatrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.normal();
+  }
+  return m;
+}
+
+/// Random complex matrix with i.i.d. standard complex normal entries.
+inline ComplexMatrix random_complex_matrix(std::size_t rows, std::size_t cols,
+                                           util::Rng& rng) {
+  ComplexMatrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      m(i, j) = Complex(rng.normal(), rng.normal());
+    }
+  }
+  return m;
+}
+
+/// Random Hermitian matrix.
+inline ComplexMatrix random_hermitian_matrix(std::size_t n, util::Rng& rng) {
+  ComplexMatrix a = random_complex_matrix(n, n, rng);
+  ComplexMatrix h(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      h(i, j) = 0.5 * (a(i, j) + std::conj(a(j, i)));
+    }
+  }
+  return h;
+}
+
+/// Greedily matches two unordered spectra and returns the max pairwise
+/// distance; large when the sets differ.
+inline double spectrum_distance(ComplexVector a, ComplexVector b) {
+  if (a.size() != b.size()) return 1e300;
+  double worst = 0.0;
+  for (const Complex& x : a) {
+    double best = 1e300;
+    std::size_t best_j = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const double d = std::abs(x - b[j]);
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    worst = std::max(worst, best);
+    b.erase(b.begin() + static_cast<std::ptrdiff_t>(best_j));
+  }
+  return worst;
+}
+
+/// || A - B ||_max
+template <typename T>
+double max_abs_diff(const la::Matrix<T>& a, const la::Matrix<T>& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      worst = std::max(worst, std::abs(a(i, j) - b(i, j)));
+    }
+  }
+  return worst;
+}
+
+/// Set-compare two sorted frequency lists within an absolute tolerance.
+inline bool frequencies_match(const RealVector& a, const RealVector& b,
+                              double tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace phes::test
