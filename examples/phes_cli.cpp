@@ -11,7 +11,9 @@
 //       Write a demo samples file (synthetic 4-port interconnect) to
 //       <path> so the other subcommands have something to chew on.
 //
-// Sample files use the phes-samples v1 text format (samples_io.hpp).
+// Sample files may be phes-samples v1 text (samples_io.hpp) or
+// Touchstone .sNp (io/touchstone.hpp); the format is picked by
+// extension via pipeline::load_input.
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +26,7 @@
 #include "phes/macromodel/samples.hpp"
 #include "phes/macromodel/samples_io.hpp"
 #include "phes/macromodel/simo_realization.hpp"
+#include "phes/pipeline/job.hpp"
 #include "phes/passivity/characterization.hpp"
 #include "phes/passivity/enforcement.hpp"
 #include "phes/vf/vector_fitting.hpp"
@@ -45,7 +48,7 @@ int usage() {
 
 vf::VectorFittingResult fit_file(const std::string& path,
                                  std::size_t poles, std::size_t iters) {
-  const auto samples = macromodel::load_samples_file(path);
+  const auto samples = pipeline::load_input(path);
   std::printf("loaded %zu samples, %zu ports\n", samples.count(),
               samples.ports());
   vf::VectorFittingOptions opt;

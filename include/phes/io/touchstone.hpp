@@ -1,0 +1,90 @@
+#pragma once
+// Touchstone (.sNp) reader/writer — the industry-standard interchange
+// format for tabulated scattering parameters (the paper's input data:
+// "frequency samples of the scattering matrix ... via electromagnetic
+// simulation or direct measurement", Sec. II).
+//
+// Supported subset (Touchstone 1.x):
+//   - option line  "# <unit> S <format> R <z0>"  with unit in
+//     {Hz, kHz, MHz, GHz}, format in {RI, MA, DB}; fields are optional
+//     and case-insensitive, defaults are GHz / S / MA / R 50
+//   - '!' comments (full-line and trailing) and blank lines
+//   - free line wrapping of data records (one record = frequency plus
+//     2 p^2 values, split over any number of lines)
+//   - the 2-port column-major quirk: .s2p data is ordered
+//     S11 S21 S12 S22, every other port count is row-major
+//   - the trailing 2-port noise-parameter section (detected by the
+//     frequency dropping back) is skipped
+//
+// Frequencies are converted to angular rad/s on load (omega = 2 pi f)
+// and back to the requested unit on save, so the rest of the library
+// only ever sees `macromodel::FrequencySamples`.
+//
+// Only the scattering parameter type 'S' is accepted: passivity of Y/Z
+// immittance data is a positive-realness question, not the bounded-
+// realness test this library implements.
+//
+// All parse errors throw std::runtime_error with a "<line N>:" prefix.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "phes/macromodel/samples.hpp"
+
+namespace phes::io {
+
+/// Number format of the complex data pairs.
+enum class TouchstoneFormat {
+  kRI,  ///< real, imaginary
+  kMA,  ///< magnitude, angle (degrees)
+  kDB,  ///< 20 log10(magnitude) dB, angle (degrees)
+};
+
+[[nodiscard]] const char* format_name(TouchstoneFormat format) noexcept;
+
+/// Contents of the option line (plus write-time formatting knobs).
+struct TouchstoneMetadata {
+  TouchstoneFormat format = TouchstoneFormat::kMA;
+  std::string unit = "GHz";          ///< Hz | kHz | MHz | GHz
+  double frequency_scale = 1e9;      ///< Hz per file frequency unit
+  double reference_resistance = 50;  ///< the R field, ohms
+};
+
+/// A parsed Touchstone file: samples (omega in rad/s) plus the metadata
+/// needed to write an equivalent file back.
+struct TouchstoneData {
+  macromodel::FrequencySamples samples;
+  TouchstoneMetadata metadata;
+};
+
+/// True when `path` ends in a ".sNp" / ".snp" Touchstone extension
+/// (any digit count, case-insensitive).  The single extension check
+/// shared by the pipeline's input dispatch and the batch file scan.
+[[nodiscard]] bool is_touchstone_path(const std::string& path) noexcept;
+
+/// Port count from a ".sNp" / ".snp" extension (e.g. "a.s2p" -> 2).
+/// Throws std::runtime_error when the extension is absent, N < 1, or
+/// N is implausibly large.
+[[nodiscard]] std::size_t ports_from_extension(const std::string& path);
+
+/// Parse a Touchstone stream with a known port count.
+[[nodiscard]] TouchstoneData load_touchstone(std::istream& is,
+                                             std::size_t ports);
+
+/// Parse a Touchstone file, inferring the port count from the extension.
+[[nodiscard]] TouchstoneData load_touchstone_file(const std::string& path);
+
+/// Serialize samples as Touchstone data.  Throws on inconsistent
+/// samples or an unknown metadata unit.
+void save_touchstone(const macromodel::FrequencySamples& samples,
+                     std::ostream& os,
+                     const TouchstoneMetadata& metadata = {});
+
+/// File wrapper; refuses a ".sNp" extension whose N contradicts the
+/// sample port count.
+void save_touchstone_file(const macromodel::FrequencySamples& samples,
+                          const std::string& path,
+                          const TouchstoneMetadata& metadata = {});
+
+}  // namespace phes::io

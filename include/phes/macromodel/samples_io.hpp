@@ -21,8 +21,10 @@ namespace phes::macromodel {
 /// Serialize samples to a stream.  Throws on inconsistent input.
 void save_samples(const FrequencySamples& samples, std::ostream& os);
 
-/// Parse samples from a stream.  Throws std::runtime_error on malformed
-/// content.
+/// Parse samples from a stream.  Throws std::runtime_error with a
+/// "samples_io: line N:" prefix on malformed content: zero ports or
+/// points, non-finite or non-numeric values, non-increasing
+/// frequencies, and truncated records are all rejected.
 [[nodiscard]] FrequencySamples load_samples(std::istream& is);
 
 /// File-path convenience wrappers.

@@ -1,0 +1,111 @@
+#pragma once
+// The end-to-end passivity pipeline of paper Sec. II, as one runnable
+// stage machine:
+//
+//   load -> fit (vector fitting) -> realize (SIMO state space)
+//        -> characterize (parallel Hamiltonian eigensolver)
+//        -> enforce (iterative residue perturbation, skipped when the
+//           model is already passive) -> verify (re-characterization)
+//
+// Each stage is timed, and a throwing stage is captured as a structured
+// failure on the result instead of escaping mid-batch — the contract
+// BatchRunner (pipeline/batch.hpp) relies on to keep one bad input from
+// killing N-1 good jobs.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "phes/core/solver.hpp"
+#include "phes/macromodel/samples.hpp"
+#include "phes/passivity/characterization.hpp"
+#include "phes/passivity/enforcement.hpp"
+#include "phes/vf/vector_fitting.hpp"
+
+namespace phes::pipeline {
+
+/// Pipeline stages in execution order.
+enum class Stage {
+  kLoad = 0,
+  kFit,
+  kRealize,
+  kCharacterize,
+  kEnforce,
+  kVerify,
+};
+
+[[nodiscard]] const char* stage_name(Stage stage) noexcept;
+
+/// Parse a stage name ("load", "fit", ...).  Throws std::invalid_argument
+/// on an unknown name.
+[[nodiscard]] Stage parse_stage(const std::string& name);
+
+/// Per-job knobs (stage options plus early-stop control).
+struct JobOptions {
+  vf::VectorFittingOptions fit{};
+  core::SolverOptions solver{};
+  passivity::EnforcementOptions enforcement{};
+  /// Run stages up to and including this one, then stop.
+  Stage stop_after = Stage::kVerify;
+};
+
+/// One pipeline invocation: a named input plus its options.  The input
+/// is either a file path (Touchstone ".sNp" or phes-samples text,
+/// dispatched on extension) or in-memory samples.
+struct PipelineJob {
+  std::string name;        ///< label for reports (defaults to the path)
+  std::string input_path;  ///< empty => use `samples`
+  macromodel::FrequencySamples samples;
+  JobOptions options{};
+};
+
+/// Wall-clock record of one completed stage.
+struct StageTiming {
+  Stage stage = Stage::kLoad;
+  double seconds = 0.0;
+};
+
+/// Structured outcome of one job.
+struct PipelineResult {
+  std::string name;
+
+  bool ok = false;         ///< no stage threw
+  bool completed = false;  ///< reached options.stop_after
+  std::string error;       ///< failure message when !ok
+  Stage failed_stage = Stage::kLoad;  ///< meaningful when !ok
+
+  std::vector<StageTiming> stage_timings;  ///< completed stages, in order
+  double total_seconds = 0.0;
+
+  // Stage products (populated up to the last completed stage).
+  std::size_t sample_count = 0;
+  std::size_t ports = 0;
+  std::size_t order = 0;      ///< dynamic order n of the fitted model
+  double fit_rms = 0.0;
+  std::size_t fit_iterations = 0;
+
+  passivity::PassivityReport initial_report;  ///< characterize output
+  bool enforcement_run = false;  ///< false when already passive
+  passivity::EnforcementResult enforcement;
+  passivity::PassivityReport final_report;  ///< verify output
+
+  /// True when the verify stage re-certified the (possibly perturbed)
+  /// model as passive.
+  bool certified_passive = false;
+
+  /// Compact status: "passive" | "enforced" | "not-passive" |
+  /// "stopped@<stage>" | "failed@<stage>".
+  [[nodiscard]] std::string status() const;
+};
+
+/// Load a samples file, dispatching on extension: ".sNp"/".snp" is
+/// parsed as Touchstone, anything else as the phes-samples text format.
+[[nodiscard]] macromodel::FrequencySamples load_input(
+    const std::string& path);
+
+/// Run one job through the stage machine.  Never throws on bad input or
+/// numerical failure — such errors come back on the result.  (Only
+/// allocation failure and similar catastrophes propagate.)
+[[nodiscard]] PipelineResult run_pipeline(const PipelineJob& job);
+
+}  // namespace phes::pipeline

@@ -55,7 +55,7 @@ RealMatrix build_scattering_hamiltonian(
 RealMatrix build_immittance_hamiltonian(
     const macromodel::StateSpaceModel& model) {
   model.check_shapes();
-  const std::size_t n = model.order(), p = model.ports();
+  const std::size_t n = model.order();
   RealMatrix q = model.d + la::transpose(model.d);
   const RealMatrix q_inv = la::lu_inverse(q);  // throws when singular
 

@@ -1,0 +1,168 @@
+#include "phes/pipeline/job.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "phes/io/touchstone.hpp"
+#include "phes/macromodel/samples_io.hpp"
+#include "phes/macromodel/simo_realization.hpp"
+#include "phes/util/check.hpp"
+#include "phes/util/timer.hpp"
+
+namespace phes::pipeline {
+
+namespace {
+
+constexpr Stage kStages[] = {Stage::kLoad,         Stage::kFit,
+                             Stage::kRealize,      Stage::kCharacterize,
+                             Stage::kEnforce,      Stage::kVerify};
+
+}  // namespace
+
+const char* stage_name(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kLoad: return "load";
+    case Stage::kFit: return "fit";
+    case Stage::kRealize: return "realize";
+    case Stage::kCharacterize: return "characterize";
+    case Stage::kEnforce: return "enforce";
+    case Stage::kVerify: return "verify";
+  }
+  return "?";
+}
+
+Stage parse_stage(const std::string& name) {
+  for (Stage stage : kStages) {
+    if (name == stage_name(stage)) return stage;
+  }
+  throw std::invalid_argument("unknown pipeline stage '" + name +
+                              "' (expected load|fit|realize|characterize|"
+                              "enforce|verify)");
+}
+
+std::string PipelineResult::status() const {
+  if (!ok) return std::string("failed@") + stage_name(failed_stage);
+  const Stage last = stage_timings.empty() ? Stage::kLoad
+                                           : stage_timings.back().stage;
+  if (last != Stage::kVerify) {
+    return std::string("stopped@") + stage_name(last);
+  }
+  if (certified_passive) return enforcement_run ? "enforced" : "passive";
+  return "not-passive";
+}
+
+macromodel::FrequencySamples load_input(const std::string& path) {
+  if (io::is_touchstone_path(path)) {
+    return io::load_touchstone_file(path).samples;
+  }
+  return macromodel::load_samples_file(path);
+}
+
+PipelineResult run_pipeline(const PipelineJob& job) {
+  PipelineResult result;
+  result.name = job.name.empty() ? job.input_path : job.name;
+
+  const util::WallTimer total_timer;
+  macromodel::FrequencySamples samples;
+  vf::VectorFittingResult fit;
+  // The realization lives across stages; constructed in kRealize.
+  std::unique_ptr<macromodel::SimoRealization> realization;
+
+  // Runs `body` as `stage`, recording its wall time; returns false when
+  // the stage threw (the pipeline stops) or the stop-after mark is hit.
+  auto run_stage = [&](Stage stage, auto&& body) -> bool {
+    const util::WallTimer timer;
+    try {
+      body();
+    } catch (const std::exception& e) {
+      result.ok = false;
+      result.failed_stage = stage;
+      result.error = std::string(stage_name(stage)) + ": " + e.what();
+      result.total_seconds = total_timer.seconds();
+      return false;
+    }
+    result.stage_timings.push_back({stage, timer.seconds()});
+    if (stage == job.options.stop_after) {
+      result.ok = true;
+      result.completed = true;
+      result.total_seconds = total_timer.seconds();
+      return false;
+    }
+    return true;
+  };
+
+  // -- load ------------------------------------------------------------
+  if (!run_stage(Stage::kLoad, [&] {
+        samples = job.input_path.empty() ? job.samples
+                                         : load_input(job.input_path);
+        samples.check_consistency();
+        util::require(samples.count() > 0, "no frequency samples");
+        result.sample_count = samples.count();
+        result.ports = samples.ports();
+      })) {
+    return result;
+  }
+
+  // -- fit (vector fitting) --------------------------------------------
+  if (!run_stage(Stage::kFit, [&] {
+        fit = vf::vector_fit(samples, job.options.fit);
+        result.fit_rms = fit.rms_error;
+        result.fit_iterations = fit.iterations_used;
+        result.order = fit.model.order();
+        util::require(fit.model.is_stable(),
+                      "vector fitting produced an unstable model");
+      })) {
+    return result;
+  }
+
+  // -- realize (structured SIMO state space) ---------------------------
+  if (!run_stage(Stage::kRealize, [&] {
+        realization =
+            std::make_unique<macromodel::SimoRealization>(fit.model);
+      })) {
+    return result;
+  }
+
+  // -- characterize (parallel Hamiltonian eigensolver) -----------------
+  if (!run_stage(Stage::kCharacterize, [&] {
+        result.initial_report = passivity::characterize_passivity(
+            *realization, job.options.solver);
+      })) {
+    return result;
+  }
+
+  // -- enforce (skipped when already passive) --------------------------
+  if (!run_stage(Stage::kEnforce, [&] {
+        if (result.initial_report.passive) return;
+        result.enforcement_run = true;
+        auto options = job.options.enforcement;
+        options.solver = job.options.solver;
+        result.enforcement =
+            passivity::enforce_passivity(*realization, options);
+        util::require(result.enforcement.success,
+                      "enforcement did not converge within " +
+                          std::to_string(options.max_iterations) +
+                          " iterations");
+      })) {
+    return result;
+  }
+
+  // -- verify (independent re-characterization) ------------------------
+  if (!run_stage(Stage::kVerify, [&] {
+        result.final_report = passivity::characterize_passivity(
+            *realization, job.options.solver);
+        result.certified_passive = result.final_report.passive;
+      })) {
+    return result;
+  }
+
+  // Normally unreachable: stop_after == kVerify exits inside run_stage
+  // above.  Guard anyway (e.g. an out-of-range stop_after cast).
+  result.ok = true;
+  result.completed = true;
+  result.total_seconds = total_timer.seconds();
+  return result;
+}
+
+}  // namespace phes::pipeline

@@ -1,0 +1,182 @@
+// Pipeline subsystem tests: the stage machine, input dispatch, error
+// capture, the two-level parallelism plan, and the end-to-end path
+// from a synthetic non-passive model to a certified-passive result.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "phes/io/touchstone.hpp"
+#include "phes/macromodel/generator.hpp"
+#include "phes/macromodel/samples.hpp"
+#include "phes/macromodel/samples_io.hpp"
+#include "phes/pipeline/batch.hpp"
+#include "phes/pipeline/job.hpp"
+
+namespace phes {
+namespace {
+
+using pipeline::PipelineJob;
+using pipeline::Stage;
+
+/// Samples of a deliberately non-passive synthetic scattering model.
+macromodel::FrequencySamples non_passive_samples(std::uint64_t seed) {
+  macromodel::SyntheticModelSpec spec;
+  spec.ports = 2;
+  spec.states = 24;
+  spec.omega_min = 1.0;
+  spec.omega_max = 20.0;
+  spec.target_peak_gain = 1.05;  // > 1: unit-singular-value crossings
+  spec.seed = seed;
+  const auto model = macromodel::make_synthetic_model(spec);
+  return sample_model(model, 0.3, 60.0, 160);
+}
+
+PipelineJob make_job(macromodel::FrequencySamples samples) {
+  PipelineJob job;
+  job.name = "in-memory";
+  job.samples = std::move(samples);
+  job.options.fit.num_poles = 12;
+  return job;
+}
+
+TEST(Pipeline, StageNamesRoundTrip) {
+  for (const Stage stage :
+       {Stage::kLoad, Stage::kFit, Stage::kRealize, Stage::kCharacterize,
+        Stage::kEnforce, Stage::kVerify}) {
+    EXPECT_EQ(pipeline::parse_stage(pipeline::stage_name(stage)), stage);
+  }
+  EXPECT_THROW((void)pipeline::parse_stage("bogus"), std::invalid_argument);
+}
+
+TEST(Pipeline, EndToEndEnforcesPassivity) {
+  auto job = make_job(non_passive_samples(7));
+  const auto result = run_pipeline(job);
+
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.status(), "enforced");
+  EXPECT_TRUE(result.certified_passive);
+  EXPECT_TRUE(result.enforcement_run);
+  EXPECT_FALSE(result.initial_report.passive);
+  EXPECT_GT(result.initial_report.bands.size(), 0u);
+  EXPECT_TRUE(result.final_report.passive);
+  EXPECT_EQ(result.final_report.bands.size(), 0u);
+
+  // All six stages ran, in order, with non-negative timings.
+  ASSERT_EQ(result.stage_timings.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(result.stage_timings[i].stage, static_cast<Stage>(i));
+    EXPECT_GE(result.stage_timings[i].seconds, 0.0);
+  }
+  EXPECT_GT(result.order, 0u);
+  EXPECT_EQ(result.ports, 2u);
+}
+
+TEST(Pipeline, StopAfterFitShortCircuits) {
+  auto job = make_job(non_passive_samples(7));
+  job.options.stop_after = Stage::kFit;
+  const auto result = run_pipeline(job);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.status(), "stopped@fit");
+  EXPECT_EQ(result.stage_timings.size(), 2u);
+  EXPECT_GT(result.fit_rms, 0.0);
+}
+
+TEST(Pipeline, LoadFailureIsCapturedNotThrown) {
+  PipelineJob job;
+  job.input_path = "/nonexistent/model.s2p";
+  const auto result = run_pipeline(job);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.failed_stage, Stage::kLoad);
+  EXPECT_NE(result.error.find("load:"), std::string::npos);
+  EXPECT_EQ(result.status(), "failed@load");
+}
+
+TEST(Pipeline, LoadDispatchesOnExtension) {
+  const auto samples = non_passive_samples(11);
+  io::save_touchstone_file(samples, "/tmp/phes_pipeline_in.s2p", {});
+  macromodel::save_samples_file(samples, "/tmp/phes_pipeline_in.txt");
+
+  const auto from_ts = pipeline::load_input("/tmp/phes_pipeline_in.s2p");
+  const auto from_txt = pipeline::load_input("/tmp/phes_pipeline_in.txt");
+  EXPECT_EQ(from_ts.count(), samples.count());
+  EXPECT_EQ(from_txt.count(), samples.count());
+  EXPECT_EQ(from_ts.ports(), 2u);
+  EXPECT_NEAR(from_ts.omega.back(), samples.omega.back(),
+              1e-9 * samples.omega.back());
+}
+
+TEST(Pipeline, ParallelismPlanSplitsTheBudget) {
+  // Plenty of jobs: all threads go to job-level parallelism.
+  auto plan = pipeline::plan_parallelism(8, 16);
+  EXPECT_EQ(plan.job_workers, 8u);
+  EXPECT_EQ(plan.solver_threads, 1u);
+  // Few jobs: leftover threads feed each job's solver.
+  plan = pipeline::plan_parallelism(8, 2);
+  EXPECT_EQ(plan.job_workers, 2u);
+  EXPECT_EQ(plan.solver_threads, 4u);
+  // Degenerate inputs stay sane.
+  plan = pipeline::plan_parallelism(1, 0);
+  EXPECT_EQ(plan.job_workers, 1u);
+  EXPECT_EQ(plan.solver_threads, 1u);
+}
+
+TEST(Pipeline, BatchRunsAllJobsAndIsolatesFailures) {
+  // Two good jobs (one via Touchstone file, one in memory), one doomed.
+  const auto samples = non_passive_samples(3);
+  io::save_touchstone_file(samples, "/tmp/phes_pipeline_batch.s2p", {});
+  {
+    std::ofstream bad("/tmp/phes_pipeline_batch_bad.s2p");
+    bad << "# Hz S RI\n1.0 0.5\n";  // truncated record
+  }
+
+  std::vector<PipelineJob> jobs(3);
+  jobs[0].name = "file-job";
+  jobs[0].input_path = "/tmp/phes_pipeline_batch.s2p";
+  jobs[0].options.fit.num_poles = 12;
+  jobs[1] = make_job(non_passive_samples(5));
+  jobs[1].options.stop_after = Stage::kCharacterize;
+  jobs[2].name = "bad-job";
+  jobs[2].input_path = "/tmp/phes_pipeline_batch_bad.s2p";
+
+  pipeline::BatchOptions options;
+  options.total_threads = 2;
+  const pipeline::BatchRunner runner(options);
+  const auto results = runner.run(jobs);
+
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].name, "file-job");  // order preserved
+  EXPECT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_TRUE(results[0].certified_passive);
+  EXPECT_TRUE(results[1].ok) << results[1].error;
+  EXPECT_EQ(results[1].status(), "stopped@characterize");
+  EXPECT_FALSE(results[2].ok);
+  EXPECT_EQ(results[2].failed_stage, Stage::kLoad);
+  EXPECT_NE(results[2].error.find("truncated"), std::string::npos);
+
+  EXPECT_EQ(pipeline::count_succeeded(results), 2u);
+  const auto table = pipeline::summary_table(results);
+  EXPECT_EQ(table.rows(), 3u);
+}
+
+TEST(Pipeline, AlreadyPassiveModelSkipsEnforcement) {
+  macromodel::SyntheticModelSpec spec;
+  spec.ports = 2;
+  spec.states = 20;
+  spec.target_peak_gain = 0.9;  // safely passive
+  spec.seed = 21;
+  const auto model = macromodel::make_synthetic_model(spec);
+  auto job = make_job(sample_model(model, 0.3, 40.0, 140));
+  const auto result = run_pipeline(job);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.status(), "passive");
+  EXPECT_FALSE(result.enforcement_run);
+  EXPECT_TRUE(result.certified_passive);
+}
+
+}  // namespace
+}  // namespace phes

@@ -63,6 +63,66 @@ TEST(SamplesIo, BadHeaderThrows) {
   EXPECT_THROW(load_samples(ss), std::runtime_error);
 }
 
+TEST(SamplesIo, MalformedHeadersAndValuesThrow) {
+  struct Case {
+    const char* label;
+    const char* text;
+    const char* expect_in_message;
+  };
+  const Case cases[] = {
+      {"zero ports", "ports 0\npoints 1\n", "ports must be positive"},
+      {"zero points", "ports 1\npoints 0\n", "points must be positive"},
+      {"negative ports", "ports -2\npoints 1\n", "expected port count"},
+      {"non-numeric count", "ports x\npoints 1\n", "expected port count"},
+      {"non-finite omega",
+       "ports 1\npoints 1\nomega inf\n0 0\n", "non-finite"},
+      {"non-finite entry",
+       "ports 1\npoints 1\nomega 1.0\nnan 0\n", "non-finite"},
+      {"non-numeric entry",
+       "ports 1\npoints 1\nomega 1.0\n0.5z 0\n", "expected Re H entry"},
+      {"non-increasing omega",
+       "ports 1\npoints 2\nomega 1.0\n0 0\nomega 1.0\n0 0\n",
+       "strictly increasing"},
+      {"truncated record",
+       "ports 1\npoints 2\nomega 1.0\n0 0\n", "unexpected end of input"},
+      {"overflowing ports",
+       "ports 18446744073709551617\npoints 1\n", "exceeds the supported"},
+      {"absurd ports", "ports 1000000\npoints 1\n", "exceeds the supported"},
+      {"absurd points", "ports 1\npoints 999999999999\n",
+       "exceeds the supported"},
+  };
+  for (const auto& c : cases) {
+    std::stringstream ss(c.text);
+    try {
+      (void)load_samples(ss);
+      FAIL() << c.label << ": expected a parse error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(c.expect_in_message),
+                std::string::npos)
+          << c.label << ": got '" << e.what() << "'";
+    }
+  }
+}
+
+TEST(SamplesIo, TrailingSameLineCommentsAreIgnored) {
+  std::stringstream ss(
+      "ports 1\npoints 1\nomega 1.0 # measured at 25C\n0.5 0.25 # entry\n");
+  const auto loaded = load_samples(ss);
+  ASSERT_EQ(loaded.count(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.h[0](0, 0).real(), 0.5);
+}
+
+TEST(SamplesIo, ErrorsCarryLineNumbers) {
+  std::stringstream ss("ports 1\npoints 1\nomega 1.0\nbad 0\n");
+  try {
+    (void)load_samples(ss);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(SamplesIo, FileRoundTrip) {
   const auto original = make_samples();
   const std::string path = "/tmp/phes_samples_io_test.txt";

@@ -1,0 +1,252 @@
+// Touchstone reader/writer tests: round trips across formats and
+// frequency units, the 2-port ordering quirk, noise-section handling,
+// and a malformed-input table with line-numbered diagnostics.
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <sstream>
+#include <string>
+
+#include "phes/io/touchstone.hpp"
+#include "phes/macromodel/generator.hpp"
+#include "phes/macromodel/samples.hpp"
+#include "test_support.hpp"
+
+namespace phes {
+namespace {
+
+using io::load_touchstone;
+using io::save_touchstone;
+using io::TouchstoneFormat;
+using io::TouchstoneMetadata;
+
+macromodel::FrequencySamples make_samples(std::size_t ports) {
+  macromodel::SyntheticModelSpec spec;
+  spec.ports = ports;
+  spec.states = 6 * ports;
+  spec.seed = 17;
+  const auto model = macromodel::make_synthetic_model(spec);
+  return sample_model(model, 0.5, 20.0, 12);
+}
+
+double round_trip_error(std::size_t ports, TouchstoneFormat format,
+                        const std::string& unit) {
+  const auto original = make_samples(ports);
+  TouchstoneMetadata meta;
+  meta.format = format;
+  meta.unit = unit;
+  std::stringstream ss;
+  save_touchstone(original, ss, meta);
+  const auto loaded = load_touchstone(ss, ports);
+  EXPECT_EQ(loaded.metadata.format, format);
+  EXPECT_EQ(loaded.metadata.unit, unit);
+  EXPECT_EQ(loaded.samples.count(), original.count());
+  double worst = 0.0;
+  for (std::size_t k = 0; k < original.count(); ++k) {
+    worst = std::max(worst, std::abs(loaded.samples.omega[k] -
+                                     original.omega[k]) /
+                                original.omega[k]);
+    worst = std::max(worst,
+                     test::max_abs_diff(loaded.samples.h[k], original.h[k]));
+  }
+  return worst;
+}
+
+TEST(Touchstone, RoundTripAllFormatsAndUnits) {
+  for (const auto format : {TouchstoneFormat::kRI, TouchstoneFormat::kMA,
+                            TouchstoneFormat::kDB}) {
+    for (const std::string unit : {"Hz", "kHz", "MHz", "GHz"}) {
+      EXPECT_LT(round_trip_error(3, format, unit), 1e-12)
+          << io::format_name(format) << " / " << unit;
+    }
+  }
+}
+
+TEST(Touchstone, RoundTripOnePortAndTwoPort) {
+  EXPECT_LT(round_trip_error(1, TouchstoneFormat::kRI, "GHz"), 1e-12);
+  EXPECT_LT(round_trip_error(2, TouchstoneFormat::kMA, "MHz"), 1e-12);
+}
+
+TEST(Touchstone, FrequencyUnitScaling) {
+  // 1 MHz -> omega = 2 pi 1e6 rad/s.
+  std::stringstream ss("# MHz S RI R 50\n1.0 0.5 0.0\n");
+  const auto data = load_touchstone(ss, 1);
+  ASSERT_EQ(data.samples.count(), 1u);
+  EXPECT_NEAR(data.samples.omega[0], 2.0 * std::numbers::pi * 1e6, 1e-3);
+  EXPECT_DOUBLE_EQ(data.samples.h[0](0, 0).real(), 0.5);
+}
+
+TEST(Touchstone, TwoPortDataIsColumnMajor) {
+  // Spec quirk: .s2p rows are S11 S21 S12 S22.
+  std::stringstream ss(
+      "# Hz S RI R 50\n"
+      "1.0  11 0  21 0  12 0  22 0\n");
+  const auto data = load_touchstone(ss, 2);
+  EXPECT_DOUBLE_EQ(data.samples.h[0](0, 0).real(), 11.0);
+  EXPECT_DOUBLE_EQ(data.samples.h[0](1, 0).real(), 21.0);
+  EXPECT_DOUBLE_EQ(data.samples.h[0](0, 1).real(), 12.0);
+  EXPECT_DOUBLE_EQ(data.samples.h[0](1, 1).real(), 22.0);
+}
+
+TEST(Touchstone, ThreePortDataIsRowMajorAndMayWrapLines) {
+  std::stringstream ss(
+      "# Hz S RI\n"
+      "1.0  11 0 12 0 13 0\n"
+      "     21 0 22 0 23 0\n"
+      "     31 0 32 0 33 0\n"
+      "2.0  11 0 12 0 13 0  21 0 22 0 23 0  31 0 32 0 33 0\n");
+  const auto data = load_touchstone(ss, 3);
+  ASSERT_EQ(data.samples.count(), 2u);
+  EXPECT_DOUBLE_EQ(data.samples.h[0](0, 1).real(), 12.0);
+  EXPECT_DOUBLE_EQ(data.samples.h[0](1, 0).real(), 21.0);
+  EXPECT_DOUBLE_EQ(data.samples.h[0](2, 2).real(), 33.0);
+}
+
+TEST(Touchstone, CommentsAndBlankLinesAreIgnored) {
+  std::stringstream ss(
+      "! header comment\n"
+      "\n"
+      "# Hz S RI R 50\n"
+      "! another comment\n"
+      "1.0 0.5 0.25  ! trailing comment\n");
+  const auto data = load_touchstone(ss, 1);
+  ASSERT_EQ(data.samples.count(), 1u);
+  EXPECT_DOUBLE_EQ(data.samples.h[0](0, 0).imag(), 0.25);
+}
+
+TEST(Touchstone, DefaultsApplyWithoutOptionLine) {
+  // Spec defaults: GHz, S, MA, R 50.
+  std::stringstream ss("1.0 0.5 90.0\n");
+  const auto data = load_touchstone(ss, 1);
+  EXPECT_EQ(data.metadata.format, TouchstoneFormat::kMA);
+  EXPECT_NEAR(data.samples.omega[0], 2.0 * std::numbers::pi * 1e9, 1.0);
+  EXPECT_NEAR(data.samples.h[0](0, 0).imag(), 0.5, 1e-12);  // 0.5 at 90deg
+}
+
+TEST(Touchstone, TwoPortNoiseSectionIsSkipped) {
+  std::stringstream ss(
+      "# Hz S RI R 50\n"
+      "1.0  1 0 0 0 0 0 1 0\n"
+      "2.0  1 0 0 0 0 0 1 0\n"
+      "! noise parameters restart at a lower frequency\n"
+      "0.5  3.0 0.4 110 20\n");
+  const auto data = load_touchstone(ss, 2);
+  EXPECT_EQ(data.samples.count(), 2u);
+}
+
+TEST(Touchstone, PortsFromExtension) {
+  EXPECT_EQ(io::ports_from_extension("a/b/model.s2p"), 2u);
+  EXPECT_EQ(io::ports_from_extension("model.S16P"), 16u);
+  EXPECT_THROW((void)io::ports_from_extension("model.txt"),
+               std::runtime_error);
+  EXPECT_THROW((void)io::ports_from_extension("model"), std::runtime_error);
+  EXPECT_THROW((void)io::ports_from_extension("model.s0p"),
+               std::runtime_error);
+  EXPECT_THROW((void)io::ports_from_extension("model.sp"),
+               std::runtime_error);
+  // Overflowing / absurd port counts must not wrap allocations.
+  EXPECT_THROW(
+      (void)io::ports_from_extension("model.s18446744073709551617p"),
+      std::runtime_error);
+  EXPECT_THROW((void)io::ports_from_extension("model.s99999999p"),
+               std::runtime_error);
+  EXPECT_TRUE(io::is_touchstone_path("a/b.s12p"));
+  EXPECT_TRUE(io::is_touchstone_path("a/b.S2P"));
+  EXPECT_FALSE(io::is_touchstone_path("a/b.txt"));
+  EXPECT_FALSE(io::is_touchstone_path("a/b.sp"));
+}
+
+TEST(Touchstone, DbFormatRoundTripsExactZeroEntries) {
+  macromodel::FrequencySamples samples;
+  samples.omega = {1.0, 2.0};
+  la::ComplexMatrix h(2, 2);
+  h(0, 0) = {0.5, 0.1};  // h(0,1), h(1,0) stay exactly zero
+  h(1, 1) = {-0.2, 0.3};
+  samples.h = {h, h};
+  TouchstoneMetadata meta;
+  meta.format = TouchstoneFormat::kDB;
+  meta.unit = "Hz";
+  std::stringstream ss;
+  save_touchstone(samples, ss, meta);
+  const auto loaded = load_touchstone(ss, 2);  // must not see '-inf'
+  EXPECT_LT(std::abs(loaded.samples.h[0](0, 1)), 1e-19);
+  EXPECT_NEAR(loaded.samples.h[0](0, 0).real(), 0.5, 1e-12);
+}
+
+struct MalformedCase {
+  const char* label;
+  const char* text;
+  const char* expect_in_message;
+};
+
+TEST(Touchstone, MalformedInputTable) {
+  const MalformedCase cases[] = {
+      {"empty input", "", "no data records"},
+      {"comment only", "! nothing here\n", "no data records"},
+      {"bad unit", "# THz S RI\n1.0 0 0\n", "unknown frequency unit"},
+      {"admittance data", "# Hz Y RI\n1.0 0 0\n", "unsupported parameter"},
+      {"unknown option", "# Hz S XX\n1.0 0 0\n", "unknown option"},
+      {"duplicate option line", "# Hz S RI\n# Hz S RI\n1.0 0 0\n",
+       "duplicate option"},
+      {"missing R value", "# Hz S RI R\n1.0 0 0\n", "missing its"},
+      {"non-numeric value", "# Hz S RI\n1.0 abc 0\n", "expected a number"},
+      {"non-finite value", "# Hz S RI\n1.0 nan 0\n", "non-finite"},
+      {"negative frequency", "# Hz S RI\n-1.0 0 0\n", "negative frequency"},
+      {"non-increasing frequency", "# Hz S RI\n1.0 0 0\n1.0 0 0\n",
+       "strictly increasing"},
+      {"truncated record", "# Hz S RI\n1.0 0.5\n", "truncated record"},
+      {"option line after data", "# Hz S RI\n1.0 0 0\n# Hz S MA\n2.0 0 0\n",
+       "option line after data"},
+  };
+  for (const auto& c : cases) {
+    std::stringstream ss(c.text);
+    try {
+      (void)load_touchstone(ss, 1);
+      FAIL() << c.label << ": expected a parse error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(c.expect_in_message),
+                std::string::npos)
+          << c.label << ": got '" << e.what() << "'";
+      EXPECT_NE(std::string(e.what()).find("line "), std::string::npos)
+          << c.label << ": message has no line number: '" << e.what() << "'";
+    }
+  }
+}
+
+TEST(Touchstone, ErrorMessagesCarryTheRightLine) {
+  std::stringstream ss("# Hz S RI\n1.0 0 0\n2.0 bad 0\n");
+  try {
+    (void)load_touchstone(ss, 1);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Touchstone, FileRoundTripAndExtensionChecks) {
+  const auto samples = make_samples(2);
+  const std::string path = "/tmp/phes_touchstone_test.s2p";
+  io::save_touchstone_file(samples, path, {});
+  const auto loaded = io::load_touchstone_file(path);
+  EXPECT_EQ(loaded.samples.count(), samples.count());
+  EXPECT_EQ(loaded.samples.ports(), 2u);
+  // Extension contradicting the data is refused.
+  EXPECT_THROW(
+      io::save_touchstone_file(samples, "/tmp/phes_touchstone_test.s3p", {}),
+      std::invalid_argument);
+  EXPECT_THROW((void)io::load_touchstone_file("/nonexistent/x.s2p"),
+               std::runtime_error);
+}
+
+TEST(Touchstone, SaveRejectsUnknownUnit) {
+  const auto samples = make_samples(1);
+  TouchstoneMetadata meta;
+  meta.unit = "THz";
+  std::stringstream ss;
+  EXPECT_THROW(save_touchstone(samples, ss, meta), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace phes

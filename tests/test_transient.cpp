@@ -204,7 +204,7 @@ TEST(Transient, RejectsActiveTermination) {
   const SimoRealization simo(model);
   TransientOptions opt;
   opt.termination_gamma = 1.5;  // |gamma| > 1: active load
-  EXPECT_THROW(simulate_terminated(simo, opt), std::invalid_argument);
+  EXPECT_THROW((void)simulate_terminated(simo, opt), std::invalid_argument);
 }
 
 }  // namespace
