@@ -1,12 +1,15 @@
-// Passivity enforcement workflow: characterize a non-passive macromodel
-// with the Hamiltonian eigensolver, perturb its residues until passive,
-// and verify with both the algebraic test and a frequency sweep.
+// Passivity enforcement workflow on a solver session: characterize a
+// non-passive macromodel with the Hamiltonian eigensolver, perturb its
+// residues until passive, and verify — with one engine::SolverSession
+// carrying the shift-factorization cache and warm-start seeds through
+// every stage, so the re-characterizations are cheaper than the first.
 //
 //   ./examples/passivity_enforcement [states] [ports]
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "phes/engine/session.hpp"
 #include "phes/la/svd.hpp"
 #include "phes/macromodel/generator.hpp"
 #include "phes/macromodel/simo_realization.hpp"
@@ -28,17 +31,22 @@ int main(int argc, char** argv) {
   spec.target_peak_gain = 1.08;  // clearly non-passive
   spec.seed = 42;
   const auto model = macromodel::make_synthetic_model(spec);
-  macromodel::SimoRealization realization(model);
 
   core::SolverOptions solver_options;
   solver_options.threads = 4;
 
+  // One session for the whole job: the characterize -> enforce ->
+  // verify chain shares its factorization cache and warm-start record.
+  engine::SolverSession session(model);
+
   // --- before ---------------------------------------------------------
   const auto before =
-      passivity::characterize_passivity(realization, solver_options);
-  std::printf("before enforcement: %s, %zu crossings, %zu violation bands\n",
+      passivity::characterize_passivity(session, solver_options);
+  std::printf("before enforcement: %s, %zu crossings, %zu violation bands "
+              "(%zu matvecs, cold)\n",
               before.passive ? "PASSIVE" : "NOT passive",
-              before.crossings.size(), before.bands.size());
+              before.crossings.size(), before.bands.size(),
+              before.solver.total_matvecs);
   for (const auto& band : before.bands) {
     std::printf("  band [%.4f, %.4f]: peak sigma %.6f at w = %.4f\n",
                 band.omega_lo, band.omega_hi, band.sigma_peak,
@@ -48,29 +56,42 @@ int main(int argc, char** argv) {
   // --- enforce --------------------------------------------------------
   passivity::EnforcementOptions eopt;
   eopt.solver = solver_options;
-  const auto result = passivity::enforce_passivity(realization, eopt);
+  const auto result = passivity::enforce_passivity(session, eopt);
   std::printf("\nenforcement: %s after %zu iterations\n",
               result.success ? "SUCCESS" : "FAILED", result.iterations);
   std::printf("relative model perturbation ||dC||/||C|| = %.3e\n",
               result.relative_model_change);
   for (std::size_t i = 0; i < result.history.size(); ++i) {
     const auto& it = result.history[i];
-    std::printf("  iter %zu: %zu bands, worst sigma %.6f, |dC| %.3e\n", i,
-                it.violation_bands, it.worst_sigma, it.delta_c_norm);
+    std::printf("  iter %zu: %zu bands, worst sigma %.6f, |dC| %.3e, "
+                "%zu matvecs%s, %zu cache hit(s)\n",
+                i, it.violation_bands, it.worst_sigma, it.delta_c_norm,
+                it.solver_matvecs, it.warm_started ? " (warm)" : "",
+                it.cache_hits);
   }
 
   // --- verify ---------------------------------------------------------
   const auto after =
-      passivity::characterize_passivity(realization, solver_options);
-  std::printf("\nafter enforcement (algebraic): %s\n",
-              after.passive ? "PASSIVE" : "NOT passive");
+      passivity::characterize_passivity(session, solver_options);
+  std::printf("\nafter enforcement (algebraic): %s "
+              "(%zu matvecs, %zu cache hits, %zu rebuilt)\n",
+              after.passive ? "PASSIVE" : "NOT passive",
+              after.solver.total_matvecs, after.solver.cache_hits,
+              after.solver.factorizations);
 
   passivity::SweepOptions sw;
   sw.omega_min = 1e-2;
   sw.omega_max = 1.5 * model.max_pole_magnitude();
   sw.initial_grid = 1024;
-  const auto sweep = passivity::sampling_passivity_check(realization, sw);
+  const auto sweep =
+      passivity::sampling_passivity_check(session.realization(), sw);
   std::printf("after enforcement (sweep):     %s, worst sigma %.6f\n",
               sweep.passive ? "PASSIVE" : "NOT passive", sweep.worst_sigma);
+
+  const auto stats = session.stats();
+  std::printf("\nsession totals: %zu solves (%zu warm), cache %zu hit / "
+              "%zu miss, %zu factorizations built\n",
+              stats.solves, stats.warm_solves, stats.cache.hits,
+              stats.cache.misses, stats.factorizations);
   return after.passive && sweep.passive ? 0 : 1;
 }

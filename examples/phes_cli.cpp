@@ -21,6 +21,7 @@
 #include <string>
 
 #include "phes/core/solver.hpp"
+#include "phes/engine/session.hpp"
 #include "phes/macromodel/generator.hpp"
 #include "phes/macromodel/gramians.hpp"
 #include "phes/macromodel/samples.hpp"
@@ -47,13 +48,15 @@ int usage() {
 }
 
 vf::VectorFittingResult fit_file(const std::string& path,
-                                 std::size_t poles, std::size_t iters) {
+                                 std::size_t poles, std::size_t iters,
+                                 std::size_t threads = 1) {
   const auto samples = pipeline::load_input(path);
   std::printf("loaded %zu samples, %zu ports\n", samples.count(),
               samples.ports());
   vf::VectorFittingOptions opt;
   opt.num_poles = poles;
   opt.iterations = iters;
+  opt.threads = threads;  // independent column fits ride the pool
   auto fit = vf::vector_fit(samples, opt);
   std::printf("fit: rms error %.3e, stable: %s, order %zu\n", fit.rms_error,
               fit.model.is_stable() ? "yes" : "no", fit.model.order());
@@ -78,7 +81,7 @@ int cmd_demo(const std::string& path) {
 
 int cmd_check(const std::string& path, std::size_t poles,
               std::size_t threads) {
-  const auto fit = fit_file(path, poles, 12);
+  const auto fit = fit_file(path, poles, 12, threads);
   const macromodel::SimoRealization realization(fit.model);
   core::SolverOptions opt;
   opt.threads = threads;
@@ -96,19 +99,23 @@ int cmd_check(const std::string& path, std::size_t poles,
 
 int cmd_enforce(const std::string& path, std::size_t poles,
                 std::size_t threads) {
-  const auto fit = fit_file(path, poles, 12);
-  macromodel::SimoRealization realization(fit.model);
-  const la::RealMatrix c_before = realization.c();
+  const auto fit = fit_file(path, poles, 12, threads);
+  engine::SolverSession session(fit.model);
+  const la::RealMatrix c_before = session.realization().c();
 
   passivity::EnforcementOptions eopt;
   eopt.solver.threads = threads;
-  const auto result = passivity::enforce_passivity(realization, eopt);
-  std::printf("enforcement: %s in %zu iterations\n",
-              result.success ? "SUCCESS" : "FAILED", result.iterations);
+  const auto result = passivity::enforce_passivity(session, eopt);
+  std::printf("enforcement: %s in %zu iterations "
+              "(%zu characterizations, %zu matvecs, %zu cache hits)\n",
+              result.success ? "SUCCESS" : "FAILED", result.iterations,
+              result.characterizations, result.total_matvecs,
+              result.cache_hits);
   std::printf("relative residue change: %.3e\n",
               result.relative_model_change);
   std::printf("Hankel bound on ||H_new - H_old||_inf: %.3e\n",
-              macromodel::perturbation_hinf_bound(realization, c_before));
+              macromodel::perturbation_hinf_bound(session.realization(),
+                                                  c_before));
   return result.success ? 0 : 1;
 }
 

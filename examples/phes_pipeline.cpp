@@ -19,6 +19,9 @@
 //   --jobs <n>           concurrent jobs override       (default auto)
 //   --solver-threads <n> per-job solver threads override(default auto)
 //   --stop-after <stage> load|fit|realize|characterize|enforce|verify
+//   --summary-json <path> write the machine-readable JSON summary
+//   --summary-csv <path>  write the one-row-per-job CSV summary
+//   --no-warm-start      disable session warm starts (cold re-solves)
 //   --verbose            per-stage timing breakdown per job
 //
 // Exit status: 0 when every job succeeded, 1 when any failed, 2 usage.
@@ -37,6 +40,7 @@
 #include "phes/macromodel/samples.hpp"
 #include "phes/pipeline/batch.hpp"
 #include "phes/pipeline/job.hpp"
+#include "phes/pipeline/report.hpp"
 
 namespace {
 
@@ -46,6 +50,8 @@ namespace fs = std::filesystem;
 struct CliOptions {
   pipeline::JobOptions job{};
   pipeline::BatchOptions batch{};
+  std::string summary_json;  ///< empty => no JSON summary file
+  std::string summary_csv;   ///< empty => no CSV summary file
   bool verbose = false;
 };
 
@@ -56,7 +62,9 @@ int usage() {
                "  phes_pipeline batch <dir> [flags]\n"
                "  phes_pipeline gen <dir> [count]\n"
                "flags: --poles N --vf-iters N --threads N --jobs N\n"
-               "       --solver-threads N --stop-after STAGE --verbose\n");
+               "       --solver-threads N --stop-after STAGE\n"
+               "       --summary-json PATH --summary-csv PATH\n"
+               "       --no-warm-start --verbose\n");
   return 2;
 }
 
@@ -93,6 +101,12 @@ CliOptions parse_flags(int argc, char** argv, int first) {
       cli.batch.solver_threads = parse_count(value(), "--solver-threads");
     } else if (flag == "--stop-after") {
       cli.job.stop_after = pipeline::parse_stage(value());
+    } else if (flag == "--summary-json") {
+      cli.summary_json = value();
+    } else if (flag == "--summary-csv") {
+      cli.summary_csv = value();
+    } else if (flag == "--no-warm-start") {
+      cli.job.session.warm_start = false;
     } else if (flag == "--verbose") {
       cli.verbose = true;
     } else {
@@ -129,6 +143,13 @@ void print_job_detail(const pipeline::PipelineResult& r, bool verbose) {
                 r.enforcement.iterations,
                 r.enforcement.relative_model_change);
   }
+  if (r.session.solves > 0) {
+    std::printf("    session: %zu solve(s) (%zu warm-started), cache "
+                "%zu hit / %zu miss, %zu factorization(s) built\n",
+                r.session.solves, r.session.warm_solves,
+                r.session.cache.hits, r.session.cache.misses,
+                r.session.factorizations);
+  }
 }
 
 int run_batch(std::vector<pipeline::PipelineJob> jobs,
@@ -145,6 +166,14 @@ int run_batch(std::vector<pipeline::PipelineJob> jobs,
 
   std::printf("\n");
   pipeline::summary_table(results).print(std::cout);
+  if (!cli.summary_json.empty()) {
+    pipeline::write_summary_json_file(results, cli.summary_json);
+    std::printf("wrote JSON summary to %s\n", cli.summary_json.c_str());
+  }
+  if (!cli.summary_csv.empty()) {
+    pipeline::write_summary_csv_file(results, cli.summary_csv);
+    std::printf("wrote CSV summary to %s\n", cli.summary_csv.c_str());
+  }
   const std::size_t ok = pipeline::count_succeeded(results);
   std::printf("\n%zu/%zu job(s) succeeded\n", ok, results.size());
   return ok == results.size() ? 0 : 1;

@@ -16,6 +16,19 @@ struct LambdaMaxOptions {
   double safety_factor = 1.05;  ///< Ritz values underestimate |lambda|max
 };
 
+/// Estimate plus its cost, so callers (and warm-started re-solves that
+/// skip the estimate) can account for the Arnoldi work it spends.
+struct LambdaMaxEstimate {
+  double omega_max = 0.0;
+  std::size_t matvecs = 0;
+};
+
+/// Estimate (a safe upper bound of) the Hamiltonian spectral radius,
+/// reporting the matrix-vector products spent.
+[[nodiscard]] LambdaMaxEstimate estimate_lambda_max_counted(
+    const macromodel::SimoRealization& realization,
+    const LambdaMaxOptions& options, util::Rng& rng);
+
 /// Estimate (a safe upper bound of) the Hamiltonian spectral radius.
 [[nodiscard]] double estimate_lambda_max(
     const macromodel::SimoRealization& realization,

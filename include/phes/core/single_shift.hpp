@@ -25,6 +25,7 @@
 
 #include <cstdint>
 
+#include "phes/hamiltonian/shift_invert.hpp"
 #include "phes/la/types.hpp"
 #include "phes/macromodel/simo_realization.hpp"
 #include "phes/util/rng.hpp"
@@ -48,6 +49,9 @@ struct SingleShiftResult {
   double radius = 0.0;            ///< certified clean radius
   std::size_t restarts = 0;
   std::size_t matvecs = 0;
+  /// Shift-invert operators built locally (0 when a factory supplies
+  /// them — the factory's owner counts its own builds).
+  std::size_t factorizations = 0;
 };
 
 /// Run S(j*omega_center, rho0) on the realization's Hamiltonian.
@@ -56,5 +60,13 @@ struct SingleShiftResult {
 [[nodiscard]] SingleShiftResult single_shift_iteration(
     const macromodel::SimoRealization& realization, double omega_center,
     double rho0, const SingleShiftOptions& options, util::Rng& rng);
+
+/// Same iteration, but the shift-invert operator is requested through
+/// `factory` (e.g. an engine::ShiftFactorizationCache) instead of built
+/// from scratch.  An empty factory falls back to direct construction.
+[[nodiscard]] SingleShiftResult single_shift_iteration(
+    const macromodel::SimoRealization& realization, double omega_center,
+    double rho0, const SingleShiftOptions& options, util::Rng& rng,
+    const hamiltonian::ShiftInvertFactory& factory);
 
 }  // namespace phes::core

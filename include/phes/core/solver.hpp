@@ -15,6 +15,7 @@
 #include "phes/core/intervals.hpp"
 #include "phes/core/lambda_max.hpp"
 #include "phes/core/single_shift.hpp"
+#include "phes/hamiltonian/shift_invert.hpp"
 #include "phes/la/types.hpp"
 #include "phes/macromodel/simo_realization.hpp"
 
@@ -70,10 +71,60 @@ struct SolverResult {
   double seconds = 0.0;
   std::size_t shifts_processed = 0;
   std::size_t shifts_eliminated = 0;  ///< dropped by the cover rule
+  /// All matrix-vector products spent, including the |lambda|max band
+  /// estimate (a warm-started re-solve skips that estimate entirely).
   std::size_t total_matvecs = 0;
+  std::size_t lambda_max_matvecs = 0;  ///< band-estimate share of the total
   std::vector<ShiftRecord> shift_log;
   std::vector<CompletedDisk> disks;   ///< for coverage verification
+
+  // -- Session / warm-start diagnostics (engine::SolverSession) --------
+  bool warm_started = false;     ///< scheduler seeded from a prior solve
+  std::size_t seeded_shifts = 0; ///< seed intervals injected at startup
+  std::size_t factorizations = 0;  ///< shift-invert operators built
+  std::size_t cache_hits = 0;      ///< factorization-cache hits
+  std::size_t cache_misses = 0;    ///< factorization-cache misses
 };
+
+/// Warm-start seeds for a re-solve (produced by engine::SolverSession
+/// from the previous outcome on the same model family).
+struct WarmStartSeeds {
+  /// Seed shift frequencies; each becomes a startup interval's
+  /// tentative shift (dynamic mode only).
+  la::RealVector shifts;
+  /// Previously certified clean radii, parallel to `shifts` (or empty):
+  /// a same-revision re-solve starts each disk at its proven size
+  /// instead of re-deriving it from the interval width.
+  la::RealVector radii;
+  /// Known band edge from the previous solve; > omega_min skips the
+  /// |lambda|max Arnoldi estimate when no explicit omega_max is set.
+  double band_hint = 0.0;
+};
+
+/// Per-solve dependency hooks.  Default-constructed context reproduces
+/// the classic cold solve bit for bit.
+struct SolveContext {
+  /// Routes shift-invert construction (e.g. through a factorization
+  /// cache).  Empty => build one operator per shift from scratch.
+  hamiltonian::ShiftInvertFactory factory;
+  /// Scheduler seeding; nullptr => the paper's uniform startup grid.
+  const WarmStartSeeds* seeds = nullptr;
+  /// Confirmation re-solve of an unchanged model: intervals that carry
+  /// a previously certified radius (rho0 > 0) run with min_restarts
+  /// capped at 1 — the recorded solve already paid their
+  /// explicit-restart insurance.  Fresh fill/mop-up intervals keep the
+  /// full restart policy.
+  bool confirm_seeded = false;
+};
+
+/// The exact seed plan solve() will hand the scheduler for `options`
+/// on band [band_lo, band_hi] — the single source of truth for the
+/// seed filter, exposed so engine::SolverSession can prefetch
+/// factorizations for bitwise-identical shift keys.  Empty when the
+/// scheduling mode or seed set yields no seeded startup.
+[[nodiscard]] SeedPlan planned_seeds(const SolverOptions& options,
+                                     double band_lo, double band_hi,
+                                     const WarmStartSeeds& seeds);
 
 class ParallelHamiltonianEigensolver {
  public:
@@ -85,9 +136,15 @@ class ParallelHamiltonianEigensolver {
   /// on one instance are allowed (all state is per-call).
   [[nodiscard]] SolverResult solve(const SolverOptions& options) const;
 
+  /// Same search with per-solve hooks: a shift-invert factory (cache)
+  /// and warm-start scheduler seeds.
+  [[nodiscard]] SolverResult solve(const SolverOptions& options,
+                                   const SolveContext& context) const;
+
  private:
   [[nodiscard]] SolverResult run_scheduler(IntervalScheduler scheduler,
                                            const SolverOptions& options,
+                                           const SolveContext& context,
                                            double band_lo,
                                            double band_hi) const;
 
@@ -95,6 +152,7 @@ class ParallelHamiltonianEigensolver {
   /// (no cover-rule elimination), then coverage gaps are finished with
   /// a dynamic pass so the result stays complete.
   [[nodiscard]] SolverResult run_static_grid(const SolverOptions& options,
+                                             const SolveContext& context,
                                              double band_lo,
                                              double band_hi) const;
 

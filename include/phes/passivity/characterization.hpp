@@ -14,6 +14,10 @@
 #include "phes/la/types.hpp"
 #include "phes/macromodel/simo_realization.hpp"
 
+namespace phes::engine {
+class SolverSession;
+}  // namespace phes::engine
+
 namespace phes::passivity {
 
 /// One frequency band where sigma_max(H(jw)) > 1.
@@ -39,8 +43,17 @@ struct PassivityReport {
     const macromodel::SimoRealization& realization,
     const la::RealVector& crossings, std::size_t samples_per_band = 24);
 
-/// One-call characterization: run the parallel Hamiltonian eigensolver,
-/// then classify the bands.
+/// Session-based characterization: run the eigensolver through
+/// `session` (shift-factorization cache + warm-started scheduling),
+/// then classify the bands.  This is the primary entry point — the
+/// enforcement loop and the pipeline thread one session through every
+/// characterize/enforce/verify stage of a job.
+[[nodiscard]] PassivityReport characterize_passivity(
+    engine::SolverSession& session,
+    const core::SolverOptions& solver_options);
+
+/// One-call compatibility overload: characterizes through a throwaway
+/// session (cold solve; results are identical to the pre-session API).
 [[nodiscard]] PassivityReport characterize_passivity(
     const macromodel::SimoRealization& realization,
     const core::SolverOptions& solver_options);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "phes/core/solver.hpp"
+#include "phes/engine/session.hpp"
 #include "phes/macromodel/samples.hpp"
 #include "phes/passivity/characterization.hpp"
 #include "phes/passivity/enforcement.hpp"
@@ -45,6 +46,10 @@ struct JobOptions {
   vf::VectorFittingOptions fit{};
   core::SolverOptions solver{};
   passivity::EnforcementOptions enforcement{};
+  /// Solver-session tuning (factorization cache, warm starts).  One
+  /// session is created per job and threaded through characterize ->
+  /// enforce -> verify.
+  engine::SessionOptions session{};
   /// Run stages up to and including this one, then stop.
   Stage stop_after = Stage::kVerify;
 };
@@ -92,6 +97,10 @@ struct PipelineResult {
   /// True when the verify stage re-certified the (possibly perturbed)
   /// model as passive.
   bool certified_passive = false;
+
+  /// Solver-session reuse statistics for the whole job (factorization
+  /// cache hits/misses, warm-started solves, operators built).
+  engine::SessionStats session;
 
   /// Compact status: "passive" | "enforced" | "not-passive" |
   /// "stopped@<stage>" | "failed@<stage>".

@@ -34,6 +34,11 @@ struct VectorFittingOptions {
   /// Stop early when the largest relative pole movement drops below
   /// this threshold.
   double pole_tol = 1e-8;
+  /// Worker threads for the independent per-column fits (columns carry
+  /// disjoint pole sets and residues, so they parallelize exactly).
+  /// 0 or 1 => serial; the pipeline substitutes its per-job solver
+  /// thread budget for 0, composing with pipeline::plan_parallelism.
+  std::size_t threads = 0;
 };
 
 struct VectorFittingResult {

@@ -8,16 +8,19 @@
 
 namespace phes::core {
 
-double estimate_lambda_max(const macromodel::SimoRealization& realization,
-                           const LambdaMaxOptions& opt, util::Rng& rng) {
+LambdaMaxEstimate estimate_lambda_max_counted(
+    const macromodel::SimoRealization& realization,
+    const LambdaMaxOptions& opt, util::Rng& rng) {
   const hamiltonian::ImplicitHamiltonianOp op(realization);
   const std::size_t dim = op.dim();
   const std::size_t d = std::min(opt.krylov_dim, dim - 1);
 
+  LambdaMaxEstimate est;
   double best = 0.0;
   for (std::size_t r = 0; r < std::max<std::size_t>(opt.restarts, 1); ++r) {
     const auto v0 = random_start_vector(dim, rng);
     const auto ar = arnoldi(op, v0, d, {});
+    est.matvecs += ar.matvecs;
     for (const auto& p : ritz_pairs(ar, false)) {
       best = std::max(best, std::abs(p.value));
     }
@@ -26,7 +29,13 @@ double estimate_lambda_max(const macromodel::SimoRealization& realization,
   // dynamic part of H(jw) is active, i.e. within the pole band, so
   // never search less than the largest pole magnitude.
   best = std::max(best, realization.max_pole_magnitude());
-  return best * opt.safety_factor;
+  est.omega_max = best * opt.safety_factor;
+  return est;
+}
+
+double estimate_lambda_max(const macromodel::SimoRealization& realization,
+                           const LambdaMaxOptions& opt, util::Rng& rng) {
+  return estimate_lambda_max_counted(realization, opt, rng).omega_max;
 }
 
 }  // namespace phes::core

@@ -29,6 +29,14 @@ struct LockedEig {
 SingleShiftResult single_shift_iteration(
     const macromodel::SimoRealization& realization, double omega_center,
     double rho0, const SingleShiftOptions& opt, util::Rng& rng) {
+  return single_shift_iteration(realization, omega_center, rho0, opt, rng,
+                                hamiltonian::ShiftInvertFactory{});
+}
+
+SingleShiftResult single_shift_iteration(
+    const macromodel::SimoRealization& realization, double omega_center,
+    double rho0, const SingleShiftOptions& opt, util::Rng& rng,
+    const hamiltonian::ShiftInvertFactory& factory) {
   util::check(rho0 > 0.0, "single_shift_iteration: rho0 must be positive");
   util::check(opt.eigs_per_shift >= 1 && opt.krylov_dim > opt.eigs_per_shift,
               "single_shift_iteration: need krylov_dim > eigs_per_shift >= 1");
@@ -37,13 +45,20 @@ SingleShiftResult single_shift_iteration(
       std::max({std::abs(omega_center), realization.max_pole_magnitude(),
                 1e-30});
 
-  // Build the shift-and-invert operator; if theta is numerically an
+  SingleShiftResult result;
+
+  // Acquire the shift-and-invert operator; if theta is numerically an
   // eigenvalue the 2p x 2p kernel is singular — nudge and retry.
   Complex theta(0.0, omega_center);
-  std::unique_ptr<SmwShiftInvertOp> op;
+  std::shared_ptr<const SmwShiftInvertOp> op;
   for (int attempt = 0; attempt < 4; ++attempt) {
     try {
-      op = std::make_unique<SmwShiftInvertOp>(realization, theta);
+      if (factory) {
+        op = factory(theta);
+      } else {
+        op = std::make_shared<const SmwShiftInvertOp>(realization, theta);
+        ++result.factorizations;
+      }
       break;
     } catch (const std::runtime_error&) {
       theta += Complex(0.0, scale * 1e-9 * static_cast<double>(attempt + 1));
@@ -81,7 +96,6 @@ SingleShiftResult single_shift_iteration(
     for (auto& x : w) x /= norm;
     locked_vectors.push_back(std::move(w));
   };
-  SingleShiftResult result;
   double rho = rho0;
   // Distance estimate of the nearest eigenvalue the process has seen but
   // not yet converged; caps the certified radius.

@@ -25,8 +25,25 @@ ParallelHamiltonianEigensolver::ParallelHamiltonianEigensolver(
     const macromodel::SimoRealization& realization)
     : realization_(realization) {}
 
+SeedPlan planned_seeds(const SolverOptions& opt, double band_lo,
+                       double band_hi, const WarmStartSeeds& seeds) {
+  if (seeds.shifts.empty() || band_hi <= band_lo ||
+      opt.scheduling != SchedulingMode::kDynamic) {
+    return {};
+  }
+  const double min_width =
+      std::max(opt.resolution * (band_hi - band_lo), 1e-300);
+  return plan_seeds(band_lo, band_hi, seeds.shifts, seeds.radii,
+                    8.0 * min_width);
+}
+
 SolverResult ParallelHamiltonianEigensolver::solve(
     const SolverOptions& opt) const {
+  return solve(opt, SolveContext{});
+}
+
+SolverResult ParallelHamiltonianEigensolver::solve(
+    const SolverOptions& opt, const SolveContext& ctx) const {
   util::check(opt.threads >= 1, "solve: need at least one thread");
   util::check(opt.kappa >= 2, "solve: kappa must be >= 2 (Sec. IV-A)");
   util::check(opt.alpha >= 1.0, "solve: alpha must be >= 1 (Eq. 23)");
@@ -35,34 +52,65 @@ SolverResult ParallelHamiltonianEigensolver::solve(
 
   double band_lo = opt.omega_min;
   double band_hi = opt.omega_max;
+  std::size_t lambda_matvecs = 0;
+  bool warm_started = false;
   if (band_hi <= band_lo) {
-    util::Rng rng(opt.seed, kLambdaStreamSalt);
-    band_hi = estimate_lambda_max(realization_, opt.lambda_max, rng);
-    util::require(band_hi > band_lo,
-                  "solve: could not establish a positive search band");
+    if (ctx.seeds != nullptr && ctx.seeds->band_hint > band_lo) {
+      // Warm start: the previous solve already paid for the band edge.
+      band_hi = ctx.seeds->band_hint;
+      warm_started = true;
+    } else {
+      util::Rng rng(opt.seed, kLambdaStreamSalt);
+      const LambdaMaxEstimate est =
+          estimate_lambda_max_counted(realization_, opt.lambda_max, rng);
+      band_hi = est.omega_max;
+      lambda_matvecs = est.matvecs;
+      util::require(band_hi > band_lo,
+                    "solve: could not establish a positive search band");
+    }
+  }
+
+  const std::size_t n_intervals =
+      std::max<std::size_t>(2, opt.kappa * opt.threads);
+  const double min_width =
+      std::max(opt.resolution * (band_hi - band_lo), 1e-300);
+
+  // Warm-start seeds become the startup intervals (dynamic mode only —
+  // the static-grid strawman keeps its uniform grid by definition).
+  SeedPlan seeds;
+  if (ctx.seeds != nullptr) {
+    seeds = planned_seeds(opt, band_lo, band_hi, *ctx.seeds);
   }
 
   SolverResult result;
   if (opt.scheduling == SchedulingMode::kDynamic) {
-    const std::size_t n_intervals =
-        std::max<std::size_t>(2, opt.kappa * opt.threads);
-    const double min_width =
-        std::max(opt.resolution * (band_hi - band_lo), 1e-300);
-    IntervalScheduler sched(band_lo, band_hi, n_intervals, min_width);
-    result = run_scheduler(std::move(sched), opt, band_lo, band_hi);
+    if (!seeds.shifts.empty()) {
+      warm_started = true;
+      IntervalScheduler sched(
+          seeded_partition(band_lo, band_hi, seeds, n_intervals, min_width),
+          band_lo, band_hi, min_width);
+      result = run_scheduler(std::move(sched), opt, ctx, band_lo, band_hi);
+      result.seeded_shifts = seeds.shifts.size();
+    } else {
+      IntervalScheduler sched(band_lo, band_hi, n_intervals, min_width);
+      result = run_scheduler(std::move(sched), opt, ctx, band_lo, band_hi);
+    }
   } else {
-    result = run_static_grid(opt, band_lo, band_hi);
+    result = run_static_grid(opt, ctx, band_lo, band_hi);
   }
 
   result.omega_min = band_lo;
   result.omega_max = band_hi;
+  result.lambda_max_matvecs = lambda_matvecs;
+  result.total_matvecs += lambda_matvecs;
+  result.warm_started = warm_started;
   result.seconds = timer.seconds();
   return result;
 }
 
 SolverResult ParallelHamiltonianEigensolver::run_scheduler(
-    IntervalScheduler sched, const SolverOptions& opt, double band_lo,
-    double band_hi) const {
+    IntervalScheduler sched, const SolverOptions& opt,
+    const SolveContext& ctx, double band_lo, double band_hi) const {
   SolverResult result;
 
   std::mutex mutex;
@@ -84,16 +132,26 @@ SolverResult ParallelHamiltonianEigensolver::run_scheduler(
       lock.unlock();
 
       // Initial radius per Eq. 23: alpha * half-width, slight overlap
-      // with the adjacent intervals.
-      const double rho0 =
-          std::max(opt.alpha * 0.5 * (task->hi - task->lo), 2.0 * min_width);
+      // with the adjacent intervals; a warm-started seed interval
+      // starts from its previously certified radius instead.
+      const double rho0 = std::max(
+          task->rho0 > 0.0 ? task->rho0
+                           : opt.alpha * 0.5 * (task->hi - task->lo),
+          2.0 * min_width);
+      SingleShiftOptions shift_opt = opt.shift;
+      if (ctx.confirm_seeded && task->rho0 > 0.0) {
+        // This disk was certified for this exact model by the recorded
+        // solve; one fresh randomized restart re-confirms it.
+        shift_opt.min_restarts =
+            std::min<std::size_t>(shift_opt.min_restarts, 1);
+      }
       util::Rng rng(opt.seed, kShiftStreamSalt ^ task->id);
       util::WallTimer shift_timer;
       SingleShiftResult sres;
       bool ok = true;
       try {
         sres = single_shift_iteration(realization_, task->shift, rho0,
-                                      opt.shift, rng);
+                                      shift_opt, rng, ctx.factory);
       } catch (const std::exception&) {
         ok = false;
       }
@@ -111,6 +169,7 @@ SolverResult ParallelHamiltonianEigensolver::run_scheduler(
         rec.thread = tid;
         result.shift_log.push_back(rec);
         result.total_matvecs += sres.matvecs;
+        result.factorizations += sres.factorizations;
         sched.complete(*task, std::max(sres.radius, 2.0 * min_width),
                        std::move(sres.eigenvalues));
       } else {
@@ -147,7 +206,8 @@ SolverResult ParallelHamiltonianEigensolver::run_scheduler(
 }
 
 SolverResult ParallelHamiltonianEigensolver::run_static_grid(
-    const SolverOptions& opt, double band_lo, double band_hi) const {
+    const SolverOptions& opt, const SolveContext& ctx, double band_lo,
+    double band_hi) const {
   SolverResult result;
   const std::size_t n_shifts =
       std::max<std::size_t>(2, opt.kappa * opt.threads);
@@ -174,7 +234,7 @@ SolverResult ParallelHamiltonianEigensolver::run_static_grid(
       util::WallTimer t;
       try {
         outcomes[i] = single_shift_iteration(realization_, center, rho0,
-                                             opt.shift, rng);
+                                             opt.shift, rng, ctx.factory);
       } catch (const std::exception&) {
         failures.fetch_add(1);
         outcomes[i].radius = 2.0 * min_width;
@@ -203,6 +263,7 @@ SolverResult ParallelHamiltonianEigensolver::run_static_grid(
   for (std::size_t i = 0; i < n_shifts; ++i) {
     result.shift_log.push_back(records[i]);
     result.total_matvecs += records[i].matvecs;
+    result.factorizations += outcomes[i].factorizations;
     CompletedDisk disk;
     disk.center = records[i].center;
     disk.radius = records[i].radius;
@@ -239,12 +300,13 @@ SolverResult ParallelHamiltonianEigensolver::run_static_grid(
 
   if (!gaps.empty()) {
     IntervalScheduler mop(std::move(gaps), band_lo, band_hi, min_width);
-    SolverResult phase2 = run_scheduler(std::move(mop), opt, band_lo,
-                                        band_hi);
+    SolverResult phase2 =
+        run_scheduler(std::move(mop), opt, ctx, band_lo, band_hi);
     for (const auto& rec : phase2.shift_log) {
       result.shift_log.push_back(rec);
       result.total_matvecs += rec.matvecs;
     }
+    result.factorizations += phase2.factorizations;
     for (const auto& d : phase2.disks) result.disks.push_back(d);
   }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "phes/engine/session.hpp"
 #include "phes/la/svd.hpp"
 #include "phes/util/check.hpp"
 
@@ -98,15 +99,21 @@ std::vector<ViolationBand> classify_bands(
 }
 
 PassivityReport characterize_passivity(
-    const macromodel::SimoRealization& realization,
+    engine::SolverSession& session,
     const core::SolverOptions& solver_options) {
   PassivityReport report;
-  core::ParallelHamiltonianEigensolver solver(realization);
-  report.solver = solver.solve(solver_options);
+  report.solver = session.solve(solver_options);
   report.crossings = report.solver.crossings;
-  report.bands = classify_bands(realization, report.crossings);
+  report.bands = classify_bands(session.realization(), report.crossings);
   report.passive = report.bands.empty();
   return report;
+}
+
+PassivityReport characterize_passivity(
+    const macromodel::SimoRealization& realization,
+    const core::SolverOptions& solver_options) {
+  engine::SolverSession session{macromodel::SimoRealization(realization)};
+  return characterize_passivity(session, solver_options);
 }
 
 }  // namespace phes::passivity

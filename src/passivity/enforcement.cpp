@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "phes/engine/session.hpp"
 #include "phes/la/blas.hpp"
 #include "phes/la/lu.hpp"
 #include "phes/la/svd.hpp"
@@ -51,30 +52,46 @@ void add_constraints_at(const macromodel::SimoRealization& r, double w,
 
 }  // namespace
 
-EnforcementResult enforce_passivity(
-    macromodel::SimoRealization& realization,
-    const EnforcementOptions& opt) {
+EnforcementResult enforce_passivity(engine::SolverSession& session,
+                                    const EnforcementOptions& opt) {
   util::check(opt.margin > 0.0 && opt.margin < 0.5,
               "enforce_passivity: margin must lie in (0, 0.5)");
   {
-    const auto sigma_d = la::real_singular_values(realization.d());
+    const auto sigma_d =
+        la::real_singular_values(session.realization().d());
     util::check(sigma_d.empty() || sigma_d.front() < 1.0 - opt.margin,
                 "enforce_passivity: requires sigma_max(D) < 1 - margin");
   }
 
   EnforcementResult result;
+  // Scratch copy for candidate-step evaluation; its C is kept in sync
+  // with the session (which owns the authoritative model).
+  macromodel::SimoRealization realization = session.realization();
   const RealMatrix c_initial = realization.c();
   const double c_initial_norm = la::frobenius_norm(c_initial);
   const double ceiling = 1.0 - opt.margin;
 
+  const auto record_cost = [&result](EnforcementIterate& it,
+                                     const core::SolverResult& solver) {
+    it.solver_matvecs = solver.total_matvecs;
+    it.cache_hits = solver.cache_hits;
+    it.cache_misses = solver.cache_misses;
+    it.warm_started = solver.warm_started;
+    ++result.characterizations;
+    result.total_matvecs += solver.total_matvecs;
+    result.cache_hits += solver.cache_hits;
+    result.cache_misses += solver.cache_misses;
+  };
+
   for (std::size_t iter = 0; iter < opt.max_iterations; ++iter) {
     const PassivityReport report =
-        characterize_passivity(realization, opt.solver);
+        characterize_passivity(session, opt.solver);
     EnforcementIterate it;
     it.violation_bands = report.bands.size();
     for (const auto& band : report.bands) {
       it.worst_sigma = std::max(it.worst_sigma, band.sigma_peak);
     }
+    record_cost(it, report.solver);
 
     if (report.passive) {
       result.success = true;
@@ -215,6 +232,10 @@ EnforcementResult enforce_passivity(
     // If even the smallest scale failed the test, the last (smallest)
     // step stays applied: slow progress beats stalling.
 
+    // Commit the accepted step: bump the session's model revision
+    // (invalidating factorizations, keeping the warm-start seeds).
+    session.update_residues(realization.c());
+
     it.delta_c_norm = step_norm * scale_step;
     result.history.push_back(it);
     result.iterations = iter + 1;
@@ -222,14 +243,26 @@ EnforcementResult enforce_passivity(
 
   if (!result.success && result.iterations < opt.max_iterations) {
     // Loop ended via the grazing-violation break; verify once more.
+    // Same revision as the round that broke out, so the factorization
+    // cache serves this confirmation almost for free.
     const PassivityReport final_report =
-        characterize_passivity(realization, opt.solver);
+        characterize_passivity(session, opt.solver);
+    EnforcementIterate confirm;
+    record_cost(confirm, final_report.solver);
     result.success = final_report.passive;
   }
 
-  const RealMatrix diff = realization.c() - c_initial;
+  const RealMatrix diff = session.realization().c() - c_initial;
   result.relative_model_change =
       c_initial_norm > 0.0 ? la::frobenius_norm(diff) / c_initial_norm : 0.0;
+  return result;
+}
+
+EnforcementResult enforce_passivity(macromodel::SimoRealization& realization,
+                                    const EnforcementOptions& opt) {
+  engine::SolverSession session{macromodel::SimoRealization(realization)};
+  EnforcementResult result = enforce_passivity(session, opt);
+  realization.c() = session.realization().c();
   return result;
 }
 

@@ -66,8 +66,10 @@ PipelineResult run_pipeline(const PipelineJob& job) {
   const util::WallTimer total_timer;
   macromodel::FrequencySamples samples;
   vf::VectorFittingResult fit;
-  // The realization lives across stages; constructed in kRealize.
-  std::unique_ptr<macromodel::SimoRealization> realization;
+  // The solver session owns the realization and lives across the
+  // characterize -> enforce -> verify stages, so factorizations and
+  // warm-start seeds carry over; constructed in kRealize.
+  std::unique_ptr<engine::SolverSession> session;
 
   // Runs `body` as `stage`, recording its wall time; returns false when
   // the stage threw (the pipeline stops) or the stop-after mark is hit.
@@ -104,9 +106,21 @@ PipelineResult run_pipeline(const PipelineJob& job) {
     return result;
   }
 
+  // Stage bodies return early via run_stage; capture whatever session
+  // statistics exist so partial runs still report their reuse.
+  const auto stamp_session_stats = [&] {
+    if (session) result.session = session->stats();
+  };
+
   // -- fit (vector fitting) --------------------------------------------
   if (!run_stage(Stage::kFit, [&] {
-        fit = vf::vector_fit(samples, job.options.fit);
+        auto fit_options = job.options.fit;
+        if (fit_options.threads == 0) {
+          // Compose with the batch parallelism plan: the per-job solver
+          // thread budget doubles as the column-fit worker count.
+          fit_options.threads = job.options.solver.threads;
+        }
+        fit = vf::vector_fit(samples, fit_options);
         result.fit_rms = fit.rms_error;
         result.fit_iterations = fit.iterations_used;
         result.order = fit.model.order();
@@ -118,8 +132,8 @@ PipelineResult run_pipeline(const PipelineJob& job) {
 
   // -- realize (structured SIMO state space) ---------------------------
   if (!run_stage(Stage::kRealize, [&] {
-        realization =
-            std::make_unique<macromodel::SimoRealization>(fit.model);
+        session = std::make_unique<engine::SolverSession>(
+            macromodel::SimoRealization(fit.model), job.options.session);
       })) {
     return result;
   }
@@ -127,8 +141,9 @@ PipelineResult run_pipeline(const PipelineJob& job) {
   // -- characterize (parallel Hamiltonian eigensolver) -----------------
   if (!run_stage(Stage::kCharacterize, [&] {
         result.initial_report = passivity::characterize_passivity(
-            *realization, job.options.solver);
+            *session, job.options.solver);
       })) {
+    stamp_session_stats();
     return result;
   }
 
@@ -139,23 +154,27 @@ PipelineResult run_pipeline(const PipelineJob& job) {
         auto options = job.options.enforcement;
         options.solver = job.options.solver;
         result.enforcement =
-            passivity::enforce_passivity(*realization, options);
+            passivity::enforce_passivity(*session, options);
         util::require(result.enforcement.success,
                       "enforcement did not converge within " +
                           std::to_string(options.max_iterations) +
                           " iterations");
       })) {
+    stamp_session_stats();
     return result;
   }
 
-  // -- verify (independent re-characterization) ------------------------
+  // -- verify (independent re-characterization; warm-started, and on
+  // the unchanged revision the factorization cache serves it) ----------
   if (!run_stage(Stage::kVerify, [&] {
         result.final_report = passivity::characterize_passivity(
-            *realization, job.options.solver);
+            *session, job.options.solver);
         result.certified_passive = result.final_report.passive;
       })) {
+    stamp_session_stats();
     return result;
   }
+  stamp_session_stats();
 
   // Normally unreachable: stop_after == kVerify exits inside run_stage
   // above.  Guard anyway (e.g. an out-of-range stop_after cast).

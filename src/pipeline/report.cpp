@@ -1,0 +1,217 @@
+#include "phes/pipeline/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace phes::pipeline {
+
+namespace {
+
+// Locale-independent shortest-ish double rendering (%.9g never emits
+// commas and round-trips the magnitudes reported here).
+std::string fmt(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  return buf;
+}
+
+bool stage_ran(const PipelineResult& r, Stage stage) {
+  return std::any_of(
+      r.stage_timings.begin(), r.stage_timings.end(),
+      [stage](const StageTiming& t) { return t.stage == stage; });
+}
+
+double stage_seconds(const PipelineResult& r, Stage stage) {
+  for (const auto& t : r.stage_timings) {
+    if (t.stage == stage) return t.seconds;
+  }
+  return 0.0;
+}
+
+std::size_t job_matvecs(const PipelineResult& r) {
+  return r.initial_report.solver.total_matvecs +
+         r.enforcement.total_matvecs +
+         r.final_report.solver.total_matvecs;
+}
+
+constexpr Stage kAllStages[] = {Stage::kLoad,         Stage::kFit,
+                                Stage::kRealize,      Stage::kCharacterize,
+                                Stage::kEnforce,      Stage::kVerify};
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_summary_json(const std::vector<PipelineResult>& results,
+                        std::ostream& os) {
+  os << "{\n  \"jobs\": [";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    const bool characterized = stage_ran(r, Stage::kCharacterize);
+    const bool verified = stage_ran(r, Stage::kVerify);
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\n";
+    os << "      \"name\": \"" << json_escape(r.name) << "\",\n";
+    os << "      \"status\": \"" << json_escape(r.status()) << "\",\n";
+    os << "      \"ok\": " << (r.ok ? "true" : "false") << ",\n";
+    os << "      \"completed\": " << (r.completed ? "true" : "false")
+       << ",\n";
+    if (!r.ok) {
+      os << "      \"error\": \"" << json_escape(r.error) << "\",\n";
+      os << "      \"failed_stage\": \"" << stage_name(r.failed_stage)
+         << "\",\n";
+    }
+    os << "      \"samples\": " << r.sample_count << ",\n";
+    os << "      \"ports\": " << r.ports << ",\n";
+    os << "      \"order\": " << r.order << ",\n";
+    os << "      \"fit_rms\": " << fmt(r.fit_rms) << ",\n";
+    os << "      \"bands_initial\": "
+       << (characterized ? std::to_string(r.initial_report.bands.size())
+                         : std::string("null"))
+       << ",\n";
+    os << "      \"bands_final\": "
+       << (verified ? std::to_string(r.final_report.bands.size())
+                    : std::string("null"))
+       << ",\n";
+    os << "      \"certified_passive\": "
+       << (r.certified_passive ? "true" : "false") << ",\n";
+    os << "      \"enforcement\": { \"run\": "
+       << (r.enforcement_run ? "true" : "false")
+       << ", \"iterations\": " << r.enforcement.iterations
+       << ", \"characterizations\": " << r.enforcement.characterizations
+       << ", \"relative_model_change\": "
+       << fmt(r.enforcement.relative_model_change) << " },\n";
+    os << "      \"session\": { \"cache_hits\": " << r.session.cache.hits
+       << ", \"cache_misses\": " << r.session.cache.misses
+       << ", \"cache_evictions\": " << r.session.cache.evictions
+       << ", \"factorizations\": " << r.session.factorizations
+       << ", \"solves\": " << r.session.solves
+       << ", \"warm_solves\": " << r.session.warm_solves
+       << ", \"revision\": " << r.session.revision << " },\n";
+    os << "      \"total_matvecs\": " << job_matvecs(r) << ",\n";
+    os << "      \"stage_seconds\": {";
+    bool first = true;
+    for (const Stage stage : kAllStages) {
+      if (!stage_ran(r, stage)) continue;
+      os << (first ? " " : ", ") << "\"" << stage_name(stage)
+         << "\": " << fmt(stage_seconds(r, stage));
+      first = false;
+    }
+    os << " },\n";
+    os << "      \"total_seconds\": " << fmt(r.total_seconds) << "\n";
+    os << "    }";
+  }
+  os << "\n  ],\n";
+
+  std::size_t succeeded = 0;
+  std::size_t hits = 0, misses = 0, warm = 0;
+  double seconds = 0.0;
+  for (const auto& r : results) {
+    if (r.ok) ++succeeded;
+    hits += r.session.cache.hits;
+    misses += r.session.cache.misses;
+    warm += r.session.warm_solves;
+    seconds += r.total_seconds;
+  }
+  os << "  \"summary\": { \"jobs\": " << results.size()
+     << ", \"succeeded\": " << succeeded << ", \"cache_hits\": " << hits
+     << ", \"cache_misses\": " << misses << ", \"warm_solves\": " << warm
+     << ", \"total_seconds\": " << fmt(seconds) << " }\n}\n";
+}
+
+void write_summary_csv(const std::vector<PipelineResult>& results,
+                       std::ostream& os) {
+  os << "job,status,ok,ports,order,fit_rms,bands_initial,bands_final,"
+        "enforce_iterations,cache_hits,cache_misses,cache_evictions,"
+        "factorizations,solves,warm_solves,total_matvecs,"
+        "seconds_load,seconds_fit,seconds_realize,seconds_characterize,"
+        "seconds_enforce,seconds_verify,seconds_total\n";
+  for (const auto& r : results) {
+    const bool characterized = stage_ran(r, Stage::kCharacterize);
+    const bool verified = stage_ran(r, Stage::kVerify);
+    // Commas/quotes in job names (file paths) get RFC-4180 quoting.
+    std::string name = r.name;
+    if (name.find_first_of(",\"\n") != std::string::npos) {
+      std::string quoted = "\"";
+      for (const char c : name) {
+        if (c == '"') quoted += '"';
+        quoted += c;
+      }
+      quoted += '"';
+      name = quoted;
+    }
+    os << name << ',' << r.status() << ',' << (r.ok ? 1 : 0) << ','
+       << r.ports << ',' << r.order << ',' << fmt(r.fit_rms) << ','
+       << (characterized ? std::to_string(r.initial_report.bands.size())
+                         : std::string())
+       << ','
+       << (verified ? std::to_string(r.final_report.bands.size())
+                    : std::string())
+       << ',' << r.enforcement.iterations << ',' << r.session.cache.hits
+       << ',' << r.session.cache.misses << ','
+       << r.session.cache.evictions << ',' << r.session.factorizations
+       << ',' << r.session.solves << ',' << r.session.warm_solves << ','
+       << job_matvecs(r);
+    for (const Stage stage : kAllStages) {
+      os << ',' << fmt(stage_seconds(r, stage));
+    }
+    os << ',' << fmt(r.total_seconds) << '\n';
+  }
+}
+
+namespace {
+
+template <typename Writer>
+void write_file(const std::vector<PipelineResult>& results,
+                const std::string& path, Writer writer, const char* what) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error(std::string("cannot open ") + what +
+                             " summary file '" + path + "'");
+  }
+  writer(results, os);
+  os.flush();
+  if (!os) {
+    throw std::runtime_error(std::string("failed writing ") + what +
+                             " summary file '" + path + "'");
+  }
+}
+
+}  // namespace
+
+void write_summary_json_file(const std::vector<PipelineResult>& results,
+                             const std::string& path) {
+  write_file(results, path, &write_summary_json, "JSON");
+}
+
+void write_summary_csv_file(const std::vector<PipelineResult>& results,
+                            const std::string& path) {
+  write_file(results, path, &write_summary_csv, "CSV");
+}
+
+}  // namespace phes::pipeline

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
+#include <mutex>
 
 #include "phes/la/blas.hpp"
 #include "phes/la/qr.hpp"
 #include "phes/la/schur.hpp"
 #include "phes/util/check.hpp"
+#include "phes/util/thread_pool.hpp"
 
 namespace phes::vf {
 
@@ -150,9 +153,12 @@ VectorFittingResult vector_fit(const macromodel::FrequencySamples& samples,
   RealMatrix d(p, p);
   std::vector<macromodel::PoleResidueColumn> columns(p);
   std::vector<double> column_rms(p, 0.0);
-  std::size_t iterations_used = 0;
+  std::vector<std::size_t> iterations_by_col(p, 0);
 
-  for (std::size_t col = 0; col < p; ++col) {
+  // Columns are fitted independently (each owns its pole set, residues,
+  // and the d column), so they run verbatim on worker threads.
+  const auto fit_column = [&](std::size_t col) {
+    std::size_t iterations_used = 0;
     PoleSet poles = initial_poles(opt.num_poles, w_lo, w_hi,
                                   opt.initial_pole_damping);
 
@@ -261,7 +267,32 @@ VectorFittingResult vector_fit(const macromodel::FrequencySamples& samples,
     }
     column_rms[col] = ref_sq > 0.0 ? std::sqrt(err_sq / ref_sq)
                                    : std::sqrt(err_sq);
+    iterations_by_col[col] = iterations_used;
+  };
+
+  const std::size_t workers = std::min<std::size_t>(
+      std::max<std::size_t>(opt.threads, 1), p);
+  if (workers <= 1) {
+    for (std::size_t col = 0; col < p; ++col) fit_column(col);
+  } else {
+    util::ThreadPool pool(workers);
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    for (std::size_t col = 0; col < p; ++col) {
+      pool.submit([&, col] {
+        try {
+          fit_column(col);
+        } catch (...) {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+    if (first_error) std::rethrow_exception(first_error);
   }
+  const std::size_t iterations_used =
+      *std::max_element(iterations_by_col.begin(), iterations_by_col.end());
 
   VectorFittingResult result{
       macromodel::PoleResidueModel(std::move(d), std::move(columns)), 0.0,

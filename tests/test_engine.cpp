@@ -1,0 +1,333 @@
+// Engine subsystem tests: the shift-factorization LRU cache (eviction
+// order, revision invalidation, concurrent access) and the
+// SolverSession contract — cold solves bit-identical to the classic
+// API, warm re-solves finding the same crossing set cheaper, and the
+// enforcement loop's re-characterizations hitting the cache.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "phes/engine/session.hpp"
+#include "phes/engine/shift_cache.hpp"
+#include "phes/macromodel/generator.hpp"
+#include "phes/macromodel/simo_realization.hpp"
+#include "phes/passivity/characterization.hpp"
+#include "phes/passivity/enforcement.hpp"
+#include "test_support.hpp"
+
+namespace phes {
+namespace {
+
+using engine::SessionOptions;
+using engine::ShiftFactorizationCache;
+using engine::SolverSession;
+using la::Complex;
+using macromodel::SimoRealization;
+
+macromodel::PoleResidueModel make_model(double peak, std::uint64_t seed,
+                                        std::size_t states = 36,
+                                        std::size_t ports = 3) {
+  macromodel::SyntheticModelSpec spec;
+  spec.ports = ports;
+  spec.states = states;
+  spec.target_peak_gain = peak;
+  spec.seed = seed;
+  return macromodel::make_synthetic_model(spec);
+}
+
+ShiftFactorizationCache::OpPtr build_op(const SimoRealization& simo,
+                                        Complex theta) {
+  return std::make_shared<const hamiltonian::SmwShiftInvertOp>(simo, theta);
+}
+
+// ---- ShiftFactorizationCache ------------------------------------------
+
+TEST(ShiftCache, HitsMissesAndStats) {
+  const auto model = make_model(1.05, 10, 20, 2);
+  const SimoRealization simo(model);
+  ShiftFactorizationCache cache(8);
+
+  const Complex t1(0.0, 1.0), t2(0.0, 2.0);
+  const auto op1 = cache.acquire(0, t1, [&] { return build_op(simo, t1); });
+  ASSERT_NE(op1, nullptr);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // Same key: hit, same operator instance.
+  const auto again = cache.acquire(0, t1, [&] { return build_op(simo, t1); });
+  EXPECT_EQ(again.get(), op1.get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // Different shift and different revision are distinct keys.
+  (void)cache.acquire(0, t2, [&] { return build_op(simo, t2); });
+  (void)cache.acquire(1, t1, [&] { return build_op(simo, t1); });
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(ShiftCache, EvictsLeastRecentlyUsedFirst) {
+  const auto model = make_model(1.05, 11, 20, 2);
+  const SimoRealization simo(model);
+  ShiftFactorizationCache cache(2);
+
+  const Complex ta(0.0, 1.0), tb(0.0, 2.0), tc(0.0, 3.0);
+  (void)cache.acquire(0, ta, [&] { return build_op(simo, ta); });
+  (void)cache.acquire(0, tb, [&] { return build_op(simo, tb); });
+  // Touch A so B becomes the least recently used entry.
+  (void)cache.acquire(0, ta, [&] { return build_op(simo, ta); });
+  // Inserting C must evict B, not A.
+  (void)cache.acquire(0, tc, [&] { return build_op(simo, tc); });
+
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.contains(0, ta));
+  EXPECT_FALSE(cache.contains(0, tb));
+  EXPECT_TRUE(cache.contains(0, tc));
+}
+
+TEST(ShiftCache, RevisionInvalidationDropsStaleEntries) {
+  const auto model = make_model(1.05, 12, 20, 2);
+  const SimoRealization simo(model);
+  ShiftFactorizationCache cache(8);
+
+  const Complex ta(0.0, 1.0), tb(0.0, 2.0);
+  (void)cache.acquire(0, ta, [&] { return build_op(simo, ta); });
+  (void)cache.acquire(1, tb, [&] { return build_op(simo, tb); });
+  cache.invalidate_before(1);
+  EXPECT_FALSE(cache.contains(0, ta));
+  EXPECT_TRUE(cache.contains(1, tb));
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ShiftCache, ConcurrentAcquireIsSafeAndCoherent) {
+  const auto model = make_model(1.05, 13, 24, 2);
+  const SimoRealization simo(model);
+  ShiftFactorizationCache cache(64);
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIters = 200;
+  std::atomic<std::size_t> builds{0};
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kIters; ++i) {
+        // 16 distinct shifts hammered from every thread.
+        const Complex theta(0.0, 1.0 + static_cast<double>((t + i) % 16));
+        const auto op = cache.acquire(0, theta, [&] {
+          builds.fetch_add(1);
+          return build_op(simo, theta);
+        });
+        ASSERT_NE(op, nullptr);
+        EXPECT_EQ(op->shift(), theta);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kIters);
+  EXPECT_EQ(stats.entries, 16u);
+  // Duplicate racing builds are allowed but every miss built at most
+  // once, and hits dominate by construction.
+  EXPECT_GE(builds.load(), 16u);
+  EXPECT_EQ(builds.load(), stats.misses);
+  EXPECT_GT(stats.hits, stats.misses);
+}
+
+// ---- SolverSession ----------------------------------------------------
+
+TEST(Session, ColdSolveMatchesClassicApiBitForBit) {
+  const auto model = make_model(1.07, 20);
+  const SimoRealization simo(model);
+  core::SolverOptions opt;
+  opt.threads = 1;
+
+  const auto classic = passivity::characterize_passivity(simo, opt);
+
+  SolverSession session{SimoRealization(simo)};
+  const auto report = passivity::characterize_passivity(session, opt);
+
+  ASSERT_EQ(report.crossings.size(), classic.crossings.size());
+  for (std::size_t i = 0; i < report.crossings.size(); ++i) {
+    EXPECT_DOUBLE_EQ(report.crossings[i], classic.crossings[i]);
+  }
+  EXPECT_EQ(report.solver.total_matvecs, classic.solver.total_matvecs);
+  EXPECT_EQ(report.solver.shifts_processed, classic.solver.shifts_processed);
+  EXPECT_FALSE(report.solver.warm_started);
+}
+
+TEST(Session, SameRevisionResolveIsWarmCachedAndCheaper) {
+  const auto model = make_model(1.07, 21);
+  SolverSession session(model);
+  core::SolverOptions opt;
+  opt.threads = 1;
+
+  const auto cold = session.solve(opt);
+  ASSERT_FALSE(cold.warm_started);
+  ASSERT_GT(cold.factorizations, 0u);
+  ASSERT_GT(cold.lambda_max_matvecs, 0u);
+
+  const auto warm = session.solve(opt);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_GT(warm.seeded_shifts, 0u);
+  // Identical revision: the previous disk plan is re-solved and the
+  // seed factorizations come out of the cache (a few fresh ones may
+  // appear when a re-derived radius leaves a sliver to mop up).
+  EXPECT_GT(warm.cache_hits, 0u);
+  EXPECT_LT(warm.factorizations, cold.factorizations);
+  EXPECT_EQ(warm.lambda_max_matvecs, 0u);
+  EXPECT_LT(warm.total_matvecs, cold.total_matvecs);
+
+  const double tol = 1e-5 * model.max_pole_magnitude();
+  EXPECT_TRUE(test::frequencies_match(warm.crossings, cold.crossings, tol));
+}
+
+class SessionEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(SessionEquivalence, WarmResolveFindsSameOmegaAsColdSolve) {
+  // Acceptance: on seeded non-passive models, the session-reused solve
+  // after a residue perturbation finds the same crossing set (to
+  // tolerance) as a from-scratch cold solve of the perturbed model.
+  const auto model = make_model(1.05 + 0.01 * GetParam(), 30 + GetParam());
+  const SimoRealization simo(model);
+  const double tol = 1e-5 * model.max_pole_magnitude();
+  core::SolverOptions opt;
+  opt.threads = 2;
+
+  SolverSession session{SimoRealization(simo)};
+  const auto before = session.solve(opt);
+  ASSERT_FALSE(before.passive);
+
+  // Small residue perturbation (what one enforcement step does).
+  SimoRealization perturbed(simo);
+  la::RealMatrix c = perturbed.c();
+  c *= 0.995;
+  perturbed.c() = c;
+  session.update_residues(c);
+
+  const auto warm = session.solve(opt);
+  EXPECT_TRUE(warm.warm_started);
+
+  SolverSession cold_session{SimoRealization(perturbed)};
+  const auto cold = cold_session.solve(opt);
+  EXPECT_TRUE(test::frequencies_match(warm.crossings, cold.crossings, tol))
+      << "warm found " << warm.crossings.size() << " vs cold "
+      << cold.crossings.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, SessionEquivalence, ::testing::Range(0, 3));
+
+TEST(Session, UpdateResiduesBumpsRevisionAndInvalidates) {
+  const auto model = make_model(1.06, 40, 24, 2);
+  SolverSession session(model);
+  core::SolverOptions opt;
+  opt.threads = 1;
+  (void)session.solve(opt);
+  ASSERT_GT(session.cache_stats().entries, 0u);
+  ASSERT_EQ(session.revision(), 0u);
+
+  la::RealMatrix c = session.realization().c();
+  c *= 0.99;
+  session.update_residues(c);
+  EXPECT_EQ(session.revision(), 1u);
+  EXPECT_EQ(session.cache_stats().entries, 0u);  // stale ops purged
+  // The warm-start record survives the revision bump.
+  EXPECT_TRUE(session.warm_start().valid);
+  EXPECT_EQ(session.warm_start().revision, 0u);
+}
+
+TEST(Session, ExplicitBandLimitNeverBecomesADefaultBandHint) {
+  // A caller-truncated band must not cap a later default-band solve.
+  const auto model = make_model(1.06, 46, 24, 2);
+  SolverSession session(model);
+  core::SolverOptions narrow;
+  narrow.threads = 1;
+  narrow.omega_max = 0.5 * model.max_pole_magnitude();
+  (void)session.solve(narrow);
+
+  core::SolverOptions full;
+  full.threads = 1;
+  const auto res = session.solve(full);
+  EXPECT_GT(res.lambda_max_matvecs, 0u)
+      << "explicit omega_max leaked into the default-band search";
+  EXPECT_GT(res.omega_max, narrow.omega_max);
+}
+
+TEST(Session, LargeResidueDriftReestimatesTheBand) {
+  // The band hint must not go stale: a large cumulative residue change
+  // forces a fresh |lambda|max estimate instead of trusting the edge
+  // recorded before the perturbations.
+  const auto model = make_model(1.06, 45, 24, 2);
+  SolverSession session(model);
+  core::SolverOptions opt;
+  opt.threads = 1;
+  (void)session.solve(opt);
+
+  la::RealMatrix c = session.realization().c();
+  c *= 1.5;  // far beyond the estimate's 5% safety factor
+  session.update_residues(c);
+  const auto warm = session.solve(opt);
+  EXPECT_GT(warm.lambda_max_matvecs, 0u)
+      << "stale band hint accepted after a 50% residue change";
+
+  // Small drifts keep the hint (and skip the estimate).
+  la::RealMatrix c2 = session.realization().c();
+  c2 *= 1.001;
+  session.update_residues(c2);
+  const auto warm2 = session.solve(opt);
+  EXPECT_EQ(warm2.lambda_max_matvecs, 0u);
+}
+
+TEST(Session, EnforcementRecharacterizationsHitTheCache) {
+  // Acceptance criterion: on a non-passive demo model, the enforcement
+  // loop's second and later characterizations report >= 1
+  // factorization-cache hit and strictly fewer total matvecs than the
+  // initial cold characterization.
+  const auto model = make_model(1.15, 70);
+  SolverSession session(model);
+
+  passivity::EnforcementOptions eopt;
+  eopt.solver.threads = 1;
+  const auto result = passivity::enforce_passivity(session, eopt);
+  EXPECT_TRUE(result.success);
+  ASSERT_GE(result.history.size(), 3u)
+      << "model enforced too quickly; pick a stronger violation";
+
+  const auto& first = result.history.front();
+  EXPECT_FALSE(first.warm_started);
+  EXPECT_EQ(first.cache_hits, 0u);
+  for (std::size_t i = 1; i < result.history.size(); ++i) {
+    const auto& round = result.history[i];
+    EXPECT_TRUE(round.warm_started) << "round " << i;
+    EXPECT_GE(round.cache_hits, 1u) << "round " << i;
+    EXPECT_LT(round.solver_matvecs, first.solver_matvecs) << "round " << i;
+  }
+  EXPECT_GT(result.cache_hits, 0u);
+  EXPECT_EQ(result.characterizations, result.history.size());
+}
+
+TEST(Session, CompatOverloadMatchesSessionEnforcement) {
+  // The compatibility overload must land on the same perturbed model.
+  const auto model = make_model(1.06, 60);
+  SimoRealization via_compat(model);
+  passivity::EnforcementOptions eopt;
+  eopt.solver.threads = 1;
+  const auto compat = passivity::enforce_passivity(via_compat, eopt);
+
+  SolverSession session(model);
+  const auto direct = passivity::enforce_passivity(session, eopt);
+
+  EXPECT_EQ(compat.success, direct.success);
+  EXPECT_EQ(compat.iterations, direct.iterations);
+  EXPECT_NEAR(compat.relative_model_change, direct.relative_model_change,
+              1e-12);
+  EXPECT_LT(
+      test::max_abs_diff(via_compat.c(), session.realization().c()), 1e-12);
+}
+
+}  // namespace
+}  // namespace phes

@@ -6,7 +6,9 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "phes/io/touchstone.hpp"
 #include "phes/macromodel/generator.hpp"
@@ -14,6 +16,7 @@
 #include "phes/macromodel/samples_io.hpp"
 #include "phes/pipeline/batch.hpp"
 #include "phes/pipeline/job.hpp"
+#include "phes/pipeline/report.hpp"
 
 namespace phes {
 namespace {
@@ -73,6 +76,14 @@ TEST(Pipeline, EndToEndEnforcesPassivity) {
   }
   EXPECT_GT(result.order, 0u);
   EXPECT_EQ(result.ports, 2u);
+
+  // One session carried the job: the enforcement rounds and the verify
+  // stage were warm-started and re-used cached factorizations.
+  EXPECT_GE(result.session.solves, 3u);  // characterize + >=1 round + verify
+  EXPECT_GE(result.session.warm_solves, 2u);
+  EXPECT_GT(result.session.cache.hits, 0u);
+  EXPECT_GT(result.final_report.solver.cache_hits, 0u)
+      << "verify stage did not reuse the enforcement factorizations";
 }
 
 TEST(Pipeline, StopAfterFitShortCircuits) {
@@ -161,6 +172,99 @@ TEST(Pipeline, BatchRunsAllJobsAndIsolatesFailures) {
   EXPECT_EQ(pipeline::count_succeeded(results), 2u);
   const auto table = pipeline::summary_table(results);
   EXPECT_EQ(table.rows(), 3u);
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+TEST(Pipeline, SummaryJsonAndCsvAreWrittenAndParseable) {
+  std::vector<PipelineJob> jobs(2);
+  jobs[0] = make_job(non_passive_samples(7));
+  jobs[0].name = "full-job";
+  jobs[1] = make_job(non_passive_samples(5));
+  jobs[1].name = "fit-only";
+  jobs[1].options.stop_after = Stage::kFit;
+
+  pipeline::BatchOptions options;
+  options.total_threads = 2;
+  const auto results = pipeline::BatchRunner(options).run(jobs);
+  ASSERT_EQ(pipeline::count_succeeded(results), 2u);
+
+  // --- JSON ---
+  const std::string json_path = "/tmp/phes_summary_test.json";
+  pipeline::write_summary_json_file(results, json_path);
+  std::ifstream jf(json_path);
+  ASSERT_TRUE(jf.good());
+  std::stringstream jbuf;
+  jbuf << jf.rdbuf();
+  const std::string json = jbuf.str();
+
+  EXPECT_NE(json.find("\"jobs\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"full-job\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"fit-only\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"enforced\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"stopped@fit\""), std::string::npos);
+  // The full job's session stats are reported verbatim.
+  const std::string hits_field =
+      "\"cache_hits\": " + std::to_string(results[0].session.cache.hits);
+  EXPECT_NE(json.find(hits_field), std::string::npos) << json;
+  EXPECT_NE(json.find("\"summary\": { \"jobs\": 2, \"succeeded\": 2"),
+            std::string::npos);
+  // A fit-only job reports no characterize products.
+  EXPECT_NE(json.find("\"bands_initial\": null"), std::string::npos);
+
+  // --- CSV ---
+  const std::string csv_path = "/tmp/phes_summary_test.csv";
+  pipeline::write_summary_csv_file(results, csv_path);
+  std::ifstream cf(csv_path);
+  ASSERT_TRUE(cf.good());
+  std::string header_line;
+  ASSERT_TRUE(std::getline(cf, header_line));
+  const auto header = split_csv_line(header_line);
+  std::size_t hits_col = header.size();
+  std::size_t status_col = header.size();
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == "cache_hits") hits_col = i;
+    if (header[i] == "status") status_col = i;
+  }
+  ASSERT_LT(hits_col, header.size());
+  ASSERT_LT(status_col, header.size());
+
+  std::string row;
+  std::size_t rows = 0;
+  while (std::getline(cf, row)) {
+    const auto cells = split_csv_line(row);
+    ASSERT_EQ(cells.size(), header.size()) << row;
+    if (rows == 0) {
+      EXPECT_EQ(cells[status_col], "enforced");
+      EXPECT_EQ(cells[hits_col],
+                std::to_string(results[0].session.cache.hits));
+    } else {
+      EXPECT_EQ(cells[status_col], "stopped@fit");
+      EXPECT_EQ(cells[hits_col], "0");
+    }
+    ++rows;
+  }
+  EXPECT_EQ(rows, 2u);
+}
+
+TEST(Pipeline, SummaryTableHasCacheColumn) {
+  auto job = make_job(non_passive_samples(7));
+  job.options.stop_after = Stage::kCharacterize;
+  const auto result = run_pipeline(job);
+  ASSERT_TRUE(result.ok) << result.error;
+  const auto table = pipeline::summary_table({result});
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("cache"), std::string::npos);
+  // A cold single characterization: all misses, zero hits.
+  EXPECT_NE(os.str().find("0/"), std::string::npos) << os.str();
 }
 
 TEST(Pipeline, AlreadyPassiveModelSkipsEnforcement) {
