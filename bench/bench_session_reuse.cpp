@@ -17,9 +17,9 @@
 #include <cstdlib>
 
 #include "phes/engine/session.hpp"
-#include "phes/macromodel/generator.hpp"
 #include "phes/macromodel/simo_realization.hpp"
 #include "phes/la/matrix.hpp"
+#include "test_support.hpp"
 
 namespace {
 
@@ -40,12 +40,8 @@ int main(int argc, char** argv) {
   (void)argc;
   (void)argv;
 
-  macromodel::SyntheticModelSpec spec;
-  spec.ports = 3;
-  spec.states = 48;
-  spec.target_peak_gain = 1.08;  // clearly non-passive
-  spec.seed = 2011;
-  const auto model = macromodel::make_synthetic_model(spec);
+  // Shared seeded-model fixture; 1.08 peak gain: clearly non-passive.
+  const auto model = test::synthetic_model(1.08, 2011, 48, 3);
 
   core::SolverOptions opt;
   // One solver thread: the dynamic scheduler is then fully

@@ -11,6 +11,16 @@
 //       Write `count` (default 4) synthetic Touchstone files (a mix of
 //       passive and non-passive models, varying ports/order/format)
 //       into <dir> so `batch` has something to chew on.
+//   phes_pipeline serve <socket> [flags]
+//       Long-lived job server on an AF_UNIX socket: bounded queue with
+//       backpressure, persistent workers, cross-job session pool keyed
+//       by model hash, result store.  Runs until a client sends the
+//       shutdown op (or SIGINT/SIGTERM, which drains gracefully).
+//   phes_pipeline client <socket> <op> [args]
+//       Scripting client; prints the server's JSON response line.
+//         submit <file> [job flags]     status [id]     result <id>
+//         cancel <id>                   stats           ping
+//         wait <id> [--timeout s]       shutdown [--no-drain]
 //
 // Flags:
 //   --poles <n>          VF poles per column            (default 12)
@@ -23,16 +33,24 @@
 //   --summary-csv <path>  write the one-row-per-job CSV summary
 //   --no-warm-start      disable session warm starts (cold re-solves)
 //   --verbose            per-stage timing breakdown per job
+// serve-only flags:
+//   --queue <n>          queue capacity / backpressure bound (default 64)
+//   --no-share-sessions  one private session per job (no cross-job pool)
+//   --pool-sessions <n>  idle sessions kept per the pool (default 16)
+//   --pool-mb <n>        idle session memory budget in MiB (default 256)
 //
 // Exit status: 0 when every job succeeded, 1 when any failed, 2 usage.
 
+#include <csignal>
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "phes/io/touchstone.hpp"
@@ -41,6 +59,9 @@
 #include "phes/pipeline/batch.hpp"
 #include "phes/pipeline/job.hpp"
 #include "phes/pipeline/report.hpp"
+#include "phes/server/protocol.hpp"
+#include "phes/server/server.hpp"
+#include "phes/server/socket.hpp"
 
 namespace {
 
@@ -53,6 +74,20 @@ struct CliOptions {
   std::string summary_json;  ///< empty => no JSON summary file
   std::string summary_csv;   ///< empty => no CSV summary file
   bool verbose = false;
+  // serve-only
+  std::size_t queue_capacity = 64;
+  bool share_sessions = true;
+  std::size_t pool_sessions = 16;
+  std::size_t pool_mb = 256;
+  // client-only
+  double timeout_seconds = 0.0;
+  bool drain = true;
+  // Which job flags were explicitly passed: a client submit sends only
+  // those, so the rest fall back to the serve-side job defaults.
+  bool poles_set = false;
+  bool vf_iters_set = false;
+  bool warm_start_set = false;
+  bool stop_after_set = false;
 };
 
 int usage() {
@@ -61,10 +96,18 @@ int usage() {
                "  phes_pipeline run <file> [flags]\n"
                "  phes_pipeline batch <dir> [flags]\n"
                "  phes_pipeline gen <dir> [count]\n"
+               "  phes_pipeline serve <socket> [flags]\n"
+               "  phes_pipeline client <socket> submit <file> [flags]\n"
+               "  phes_pipeline client <socket> "
+               "status|result|cancel|wait [id]\n"
+               "  phes_pipeline client <socket> stats|ping|shutdown\n"
                "flags: --poles N --vf-iters N --threads N --jobs N\n"
                "       --solver-threads N --stop-after STAGE\n"
                "       --summary-json PATH --summary-csv PATH\n"
-               "       --no-warm-start --verbose\n");
+               "       --no-warm-start --verbose\n"
+               "serve: --queue N --no-share-sessions --pool-sessions N\n"
+               "       --pool-mb N\n"
+               "client: --timeout SECONDS (wait), --no-drain (shutdown)\n");
   return 2;
 }
 
@@ -91,8 +134,10 @@ CliOptions parse_flags(int argc, char** argv, int first) {
     };
     if (flag == "--poles") {
       cli.job.fit.num_poles = parse_count(value(), "--poles");
+      cli.poles_set = true;
     } else if (flag == "--vf-iters") {
       cli.job.fit.iterations = parse_count(value(), "--vf-iters");
+      cli.vf_iters_set = true;
     } else if (flag == "--threads") {
       cli.batch.total_threads = parse_count(value(), "--threads");
     } else if (flag == "--jobs") {
@@ -101,14 +146,34 @@ CliOptions parse_flags(int argc, char** argv, int first) {
       cli.batch.solver_threads = parse_count(value(), "--solver-threads");
     } else if (flag == "--stop-after") {
       cli.job.stop_after = pipeline::parse_stage(value());
+      cli.stop_after_set = true;
     } else if (flag == "--summary-json") {
       cli.summary_json = value();
     } else if (flag == "--summary-csv") {
       cli.summary_csv = value();
     } else if (flag == "--no-warm-start") {
       cli.job.session.warm_start = false;
+      cli.warm_start_set = true;
     } else if (flag == "--verbose") {
       cli.verbose = true;
+    } else if (flag == "--queue") {
+      cli.queue_capacity = parse_count(value(), "--queue");
+    } else if (flag == "--no-share-sessions") {
+      cli.share_sessions = false;
+    } else if (flag == "--pool-sessions") {
+      cli.pool_sessions = parse_count(value(), "--pool-sessions");
+    } else if (flag == "--pool-mb") {
+      cli.pool_mb = parse_count(value(), "--pool-mb");
+    } else if (flag == "--timeout") {
+      const char* text = value();
+      char* end = nullptr;
+      cli.timeout_seconds = std::strtod(text, &end);
+      if (end == text || *end != '\0' || cli.timeout_seconds < 0.0) {
+        throw std::invalid_argument(
+            std::string("--timeout: expected seconds, got '") + text + "'");
+      }
+    } else if (flag == "--no-drain") {
+      cli.drain = false;
     } else {
       throw std::invalid_argument("unknown flag '" + flag + "'");
     }
@@ -215,6 +280,152 @@ int cmd_batch(const std::string& dir, const CliOptions& cli) {
   return run_batch(std::move(jobs), cli);
 }
 
+// ---- server mode -----------------------------------------------------
+
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void handle_signal(int) { g_interrupted = 1; }
+
+int cmd_serve(const std::string& socket_path, const CliOptions& cli) {
+  server::ServerOptions options;
+  options.queue_capacity = cli.queue_capacity;
+  options.workers = cli.batch.job_workers;
+  options.solver_threads = cli.batch.solver_threads;
+  options.share_sessions = cli.share_sessions;
+  options.pool.max_idle_sessions = cli.pool_sessions;
+  options.pool.memory_budget_bytes = cli.pool_mb << 20;
+  // Pooled sessions are configured at pool level: --no-warm-start etc.
+  // must reach them through the pool's session options.
+  options.pool.session = cli.job.session;
+  options.job_defaults = cli.job;
+
+  server::JobServer server(options);
+  server::SocketServer transport(server, socket_path);
+  transport.start();
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  const auto stats = server.stats();
+  std::printf("phes_pipeline serving on %s (%zu worker(s) x %zu solver "
+              "thread(s), queue %zu, sessions %s)\n",
+              socket_path.c_str(), stats.workers, stats.solver_threads,
+              cli.queue_capacity, cli.share_sessions ? "pooled" : "private");
+  std::fflush(stdout);
+
+  // Block until a client sends the shutdown op, or a signal arrives
+  // (poll the flag: POSIX signals cannot wake a condition_variable).
+  bool drain = true;
+  while (!transport.shutdown_requested()) {
+    if (g_interrupted != 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (transport.shutdown_requested()) drain = transport.wait_shutdown();
+
+  std::printf("shutting down (%s)...\n", drain ? "drain" : "abort");
+  std::fflush(stdout);
+  server.shutdown(drain);
+  transport.stop();
+
+  const auto final_stats = server.stats();
+  std::printf("served %zu job(s); queue peak %zu; session pool: %zu "
+              "checkout(s), %zu reuse(s), %zu restore(s)\n",
+              final_stats.submitted, final_stats.queue.peak_size,
+              final_stats.pool.checkouts, final_stats.pool.pool_hits,
+              final_stats.pool.restores);
+  return 0;
+}
+
+int cmd_client(const std::string& socket_path, const std::string& op,
+               const char* id_or_file, const CliOptions& cli) {
+  std::string request;
+  if (op == "submit") {
+    if (id_or_file == nullptr) return usage();
+    const std::string path =
+        fs::absolute(fs::path(id_or_file)).string();
+    // Only flags the user passed go on the wire; everything else falls
+    // back to the serve-side job defaults.
+    std::string options_json;
+    const auto add = [&options_json](const std::string& field) {
+      options_json += options_json.empty() ? "" : ", ";
+      options_json += field;
+    };
+    if (cli.poles_set) {
+      add("\"poles\": " + std::to_string(cli.job.fit.num_poles));
+    }
+    if (cli.vf_iters_set) {
+      add("\"vf_iters\": " + std::to_string(cli.job.fit.iterations));
+    }
+    if (cli.warm_start_set) {
+      add(std::string("\"warm_start\": ") +
+          (cli.job.session.warm_start ? "true" : "false"));
+    }
+    if (cli.stop_after_set) {
+      add("\"stop_after\": \"" +
+          std::string(pipeline::stage_name(cli.job.stop_after)) + "\"");
+    }
+    request = "{\"op\": \"submit\", \"path\": " + server::json_quote(path);
+    if (!options_json.empty()) {
+      request += ", \"options\": {" + options_json + "}";
+    }
+    request += "}";
+  } else if (op == "status" || op == "result" || op == "cancel" ||
+             op == "wait") {
+    const std::string wire_op = op == "wait" ? "status" : op;
+    request = "{\"op\": \"" + wire_op + "\"";
+    if (id_or_file != nullptr) {
+      request += ", \"id\": " + std::to_string(
+                                    parse_count(id_or_file, op.c_str()));
+    } else if (op != "status") {
+      std::fprintf(stderr, "error: %s needs a job id\n", op.c_str());
+      return 2;
+    }
+    request += "}";
+  } else if (op == "stats" || op == "ping") {
+    request = "{\"op\": \"" + op + "\"}";
+  } else if (op == "shutdown") {
+    request = std::string("{\"op\": \"shutdown\", \"drain\": ") +
+              (cli.drain ? "true" : "false") + "}";
+  } else {
+    return usage();
+  }
+
+  if (op == "wait") {
+    // Poll status until the job is terminal (or the timeout runs out).
+    server::Client client(socket_path);
+    const auto start = std::chrono::steady_clock::now();
+    for (;;) {
+      const std::string response = client.request(request);
+      const auto json = server::JsonValue::parse(response);
+      const server::JsonValue* job = json.find("job");
+      if (job == nullptr) {  // error response (unknown id)
+        std::printf("%s\n", response.c_str());
+        return 1;
+      }
+      const std::string state = job->string_or("state", "");
+      if (state == "done" || state == "failed" || state == "cancelled") {
+        std::printf("%s\n", response.c_str());
+        return state == "done" ? 0 : 1;
+      }
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (cli.timeout_seconds > 0.0 && elapsed > cli.timeout_seconds) {
+        std::fprintf(stderr, "error: timed out after %.0f s (state %s)\n",
+                     cli.timeout_seconds, state.c_str());
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+
+  const std::string response = server::round_trip(socket_path, request);
+  std::printf("%s\n", response.c_str());
+  // Scripting-friendly exit status: "ok": false => 1.
+  return response.find("\"ok\": true") != std::string::npos ? 0 : 1;
+}
+
 int cmd_gen(const std::string& dir, std::size_t count) {
   fs::create_directories(dir);
   const io::TouchstoneFormat formats[] = {io::TouchstoneFormat::kRI,
@@ -256,9 +467,20 @@ int main(int argc, char** argv) {
           argc > 3 ? parse_count(argv[3], "count") : 4;
       return cmd_gen(argv[2], count == 0 ? 4 : count);
     }
+    if (cmd == "client") {
+      // client <socket> <op> [id|file] [flags]
+      if (argc < 4) return usage();
+      const std::string op = argv[3];
+      const bool has_operand =
+          argc > 4 && std::strncmp(argv[4], "--", 2) != 0;
+      const CliOptions cli =
+          parse_flags(argc, argv, has_operand ? 5 : 4);
+      return cmd_client(argv[2], op, has_operand ? argv[4] : nullptr, cli);
+    }
     const CliOptions cli = parse_flags(argc, argv, 3);
     if (cmd == "run") return cmd_run(argv[2], cli);
     if (cmd == "batch") return cmd_batch(argv[2], cli);
+    if (cmd == "serve") return cmd_serve(argv[2], cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

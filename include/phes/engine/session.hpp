@@ -107,6 +107,10 @@ class SolverSession {
 
   [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
   [[nodiscard]] SessionStats stats() const;
+  /// Approximate resident memory: the realization's matrices plus the
+  /// cached factorizations (each a 2p x 2p complex LU).  Used by
+  /// SessionPool's eviction budget; not an allocator-exact figure.
+  [[nodiscard]] std::size_t approx_memory_bytes() const;
   [[nodiscard]] const WarmStart& warm_start() const noexcept { return warm_; }
   void clear_warm_start() { warm_ = WarmStart{}; }
 

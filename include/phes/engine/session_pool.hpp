@@ -1,0 +1,171 @@
+#pragma once
+// Cross-job session sharing — a pool of SolverSessions keyed by model
+// content hash.
+//
+// The workload that motivates a long-lived job server is many
+// near-identical jobs over the same macromodel: parameter sweeps of
+// enforcement options, repeated characterizations while a designer
+// iterates, batches regenerated from the same Touchstone sweep.  Each
+// such job realizes the same SimoRealization, so its shift-invert
+// factorizations are interchangeable — but a per-job SolverSession
+// (PR 2) throws them away when the job ends.  The pool keeps finished
+// jobs' sessions alive, keyed by a content hash of the realization, and
+// hands them to the next job over the same model: that job's solver
+// then starts with a hot ShiftFactorizationCache.
+//
+// Correctness rules:
+//  - Checkout is exclusive (SolverSession::solve is not thread-safe);
+//    concurrent jobs over one model get distinct sessions, successive
+//    jobs reuse them.  A hash match is confirmed by an exact
+//    realization comparison, so a hash collision degrades to a pool
+//    miss, never to a wrong model.
+//  - Revision guard: enforcement perturbs the session's residues.  A
+//    session returned with a bumped revision is restored to the
+//    pristine residues captured at creation before it re-enters the
+//    pool, so the next job always sees the unperturbed model.
+//  - Determinism: by default the warm-start record is cleared on
+//    return.  A reused session then schedules the next job's solves
+//    exactly like a fresh one — cached factorizations change *cost*,
+//    never results, keeping pooled jobs bit-identical to one-shot runs.
+//    Sweeps that prefer throughput over bitwise reproducibility can
+//    keep warm starts with `reset_warm_start = false`.
+//  - Idle sessions are evicted least-recently-used first once the pool
+//    exceeds its session-count or approximate-memory budget.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+
+#include "phes/engine/session.hpp"
+#include "phes/macromodel/simo_realization.hpp"
+
+namespace phes::engine {
+
+/// Content hash of a realization (FNV-1a over the pole blocks and the
+/// raw bits of C and D).  Equal models hash equal; the pool never
+/// trusts a hash match without an exact comparison.
+[[nodiscard]] std::uint64_t model_hash(
+    const macromodel::SimoRealization& realization);
+
+/// Exact (bitwise) model equality — the pool's collision guard.
+[[nodiscard]] bool same_realization(const macromodel::SimoRealization& a,
+                                    const macromodel::SimoRealization& b);
+
+struct SessionPoolOptions {
+  /// Budget for *idle* sessions; checked-out sessions are never evicted.
+  std::size_t max_idle_sessions = 16;
+  std::size_t memory_budget_bytes = 256u << 20;
+  /// Options for sessions the pool creates.
+  SessionOptions session{};
+  /// Restore the pristine residue matrix when a job returns a session
+  /// whose revision moved (enforcement ran).  Disable only if every job
+  /// wants to continue from the previous job's perturbed model.
+  bool reset_residues = true;
+  /// Clear the warm-start record on return (see file comment).
+  bool reset_warm_start = true;
+};
+
+struct SessionPoolStats {
+  std::size_t checkouts = 0;
+  std::size_t pool_hits = 0;  ///< checkouts served by an idle session
+  std::size_t creations = 0;
+  std::size_t returns = 0;
+  std::size_t restores = 0;   ///< dirty sessions restored to baseline
+  std::size_t evictions = 0;  ///< idle sessions dropped by the budgets
+  std::size_t collisions = 0; ///< hash matches rejected by comparison
+  std::size_t idle_sessions = 0;
+  std::size_t leased_sessions = 0;
+  std::size_t idle_bytes = 0; ///< approximate resident idle memory
+};
+
+class SessionPool;
+
+/// Exclusive RAII lease of a pooled session; the destructor returns the
+/// session to the pool (restoring/evicting per the pool options).  The
+/// pool must outlive every lease.
+class SessionLease {
+ public:
+  SessionLease() = default;
+  SessionLease(SessionLease&& other) noexcept;
+  SessionLease& operator=(SessionLease&& other) noexcept;
+  SessionLease(const SessionLease&) = delete;
+  SessionLease& operator=(const SessionLease&) = delete;
+  ~SessionLease();
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return entry_ != nullptr;
+  }
+  /// Valid only while the lease holds an entry.
+  [[nodiscard]] SolverSession& session() const;
+  /// True when the checkout was served by an idle pooled session (the
+  /// factorization cache may already be hot).
+  [[nodiscard]] bool reused() const noexcept { return reused_; }
+
+  /// Return the session now (idempotent).
+  void release();
+
+ private:
+  friend class SessionPool;
+
+  SessionPool* pool_ = nullptr;
+  void* entry_ = nullptr;  ///< SessionPool::Entry, opaque here
+  bool reused_ = false;
+};
+
+class SessionPool {
+ public:
+  explicit SessionPool(SessionPoolOptions options = {});
+  ~SessionPool();
+
+  SessionPool(const SessionPool&) = delete;
+  SessionPool& operator=(const SessionPool&) = delete;
+
+  /// Check out a session for `realization`'s model.  An idle session
+  /// with the same content hash (verified by exact comparison) is
+  /// reused; otherwise `realization` is moved into a fresh session.
+  [[nodiscard]] SessionLease checkout(
+      macromodel::SimoRealization realization);
+
+  /// Drop every idle session (leased ones are unaffected).
+  void clear_idle();
+
+  [[nodiscard]] SessionPoolStats stats() const;
+  [[nodiscard]] const SessionPoolOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  friend class SessionLease;
+
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::unique_ptr<SolverSession> session;
+    /// Pristine residues + the revision they correspond to; the
+    /// revision guard restores these when a job returns the session
+    /// with a different revision.
+    la::RealMatrix baseline_c;
+    std::uint64_t clean_revision = 0;
+    std::size_t bytes = 0;
+  };
+
+  void give_back(Entry* entry);
+  void evict_over_budget_locked();
+
+  SessionPoolOptions options_;
+  mutable std::mutex mutex_;
+  /// Idle entries, most recently used first.
+  std::list<std::unique_ptr<Entry>> idle_;
+  std::size_t idle_bytes_ = 0;
+  std::size_t leased_ = 0;
+  std::size_t checkouts_ = 0;
+  std::size_t pool_hits_ = 0;
+  std::size_t creations_ = 0;
+  std::size_t returns_ = 0;
+  std::size_t restores_ = 0;
+  std::size_t evictions_ = 0;
+  std::size_t collisions_ = 0;
+};
+
+}  // namespace phes::engine

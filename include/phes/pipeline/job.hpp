@@ -12,7 +12,10 @@
 // BatchRunner (pipeline/batch.hpp) relies on to keep one bad input from
 // killing N-1 good jobs.
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -22,6 +25,10 @@
 #include "phes/passivity/characterization.hpp"
 #include "phes/passivity/enforcement.hpp"
 #include "phes/vf/vector_fitting.hpp"
+
+namespace phes::engine {
+class SessionPool;
+}  // namespace phes::engine
 
 namespace phes::pipeline {
 
@@ -62,6 +69,9 @@ struct PipelineJob {
   std::string input_path;  ///< empty => use `samples`
   macromodel::FrequencySamples samples;
   JobOptions options{};
+  /// Caller-assigned identifier, carried onto the result verbatim (the
+  /// job server uses it to key its result store; 0 = unassigned).
+  std::uint64_t id = 0;
 };
 
 /// Wall-clock record of one completed stage.
@@ -73,11 +83,15 @@ struct StageTiming {
 /// Structured outcome of one job.
 struct PipelineResult {
   std::string name;
+  std::uint64_t id = 0;  ///< copied from the job
 
   bool ok = false;         ///< no stage threw
   bool completed = false;  ///< reached options.stop_after
   std::string error;       ///< failure message when !ok
   Stage failed_stage = Stage::kLoad;  ///< meaningful when !ok
+  /// The job was cancelled at a stage boundary (ok is false and
+  /// failed_stage names the stage that never started).
+  bool cancelled = false;
 
   std::vector<StageTiming> stage_timings;  ///< completed stages, in order
   double total_seconds = 0.0;
@@ -98,12 +112,17 @@ struct PipelineResult {
   /// model as passive.
   bool certified_passive = false;
 
-  /// Solver-session reuse statistics for the whole job (factorization
-  /// cache hits/misses, warm-started solves, operators built).
+  /// Solver-session reuse statistics for this job.  When the job ran on
+  /// a pooled session (PipelineContext::session_pool) these are deltas
+  /// over the job's lifetime, so cross-job cache hits are visible per
+  /// job; otherwise they are the whole (per-job) session's counters.
   engine::SessionStats session;
+  /// The realize stage was served by an already-pooled session for the
+  /// same model hash (cross-job sharing happened).
+  bool session_reused = false;
 
   /// Compact status: "passive" | "enforced" | "not-passive" |
-  /// "stopped@<stage>" | "failed@<stage>".
+  /// "stopped@<stage>" | "failed@<stage>" | "cancelled@<stage>".
   [[nodiscard]] std::string status() const;
 };
 
@@ -112,9 +131,33 @@ struct PipelineResult {
 [[nodiscard]] macromodel::FrequencySamples load_input(
     const std::string& path);
 
+/// Per-run hooks a host (batch runner, job server) threads through the
+/// stage machine.  Default-constructed, run_pipeline behaves exactly as
+/// the hook-free overload.
+struct PipelineContext {
+  /// Cross-job session pool: the realize stage checks the fitted model
+  /// out of this pool instead of building a private session (the
+  /// pool's SessionOptions apply, not JobOptions::session).  The lease
+  /// is returned when the job finishes.  Exception: a job whose own
+  /// session options disable warm starts runs on a private cold
+  /// session — it must not inherit another job's hot cache.
+  engine::SessionPool* session_pool = nullptr;
+  /// Cooperative cancellation, polled at every stage boundary; a set
+  /// flag stops the job before its next stage (result.cancelled).
+  const std::atomic<bool>* cancel = nullptr;
+  /// Observer invoked as each stage begins (progress reporting).  Runs
+  /// on the pipeline's thread; keep it cheap and noexcept-ish.
+  std::function<void(Stage)> on_stage_start;
+};
+
 /// Run one job through the stage machine.  Never throws on bad input or
 /// numerical failure — such errors come back on the result.  (Only
 /// allocation failure and similar catastrophes propagate.)
 [[nodiscard]] PipelineResult run_pipeline(const PipelineJob& job);
+
+/// Hooked variant: same stage machine with a session pool, cooperative
+/// cancellation, and a stage observer (see PipelineContext).
+[[nodiscard]] PipelineResult run_pipeline(const PipelineJob& job,
+                                          const PipelineContext& context);
 
 }  // namespace phes::pipeline

@@ -22,6 +22,13 @@ namespace phes::pipeline {
 /// Escape a string for embedding in a JSON string literal.
 [[nodiscard]] std::string json_escape(const std::string& text);
 
+/// Write one result as a JSON object (no trailing newline).  `indent`
+/// spaces prefix every line.  This is the per-job body of the batch
+/// summary document, exposed so the job server's `result` op returns
+/// the same machine-readable record as `--summary-json`.
+void write_job_json(const PipelineResult& result, std::ostream& os,
+                    std::size_t indent = 0);
+
 void write_summary_json(const std::vector<PipelineResult>& results,
                         std::ostream& os);
 void write_summary_csv(const std::vector<PipelineResult>& results,

@@ -1,0 +1,88 @@
+#pragma once
+// Bounded multi-producer / multi-consumer job queue — the admission
+// control of the job server.
+//
+// Capacity is a hard bound: push() blocks once the queue is full, so a
+// fast client cannot queue unbounded work (backpressure propagates all
+// the way to the submitting socket).  close() releases every blocked
+// producer and consumer; producers get `false`, consumers drain what
+// remains and then get nullopt.  remove() supports cancelling a job
+// that has not been popped yet.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "phes/pipeline/job.hpp"
+
+namespace phes::server {
+
+/// One queued submission: the server-assigned id plus the job payload
+/// (PipelineJob::id carries the same id into the result).
+struct QueuedJob {
+  std::uint64_t id = 0;
+  pipeline::PipelineJob job;
+};
+
+class JobQueue {
+ public:
+  struct Stats {
+    std::size_t pushed = 0;
+    std::size_t popped = 0;
+    std::size_t removed = 0;     ///< cancelled while queued
+    std::size_t push_waits = 0;  ///< pushes that hit backpressure
+    std::size_t peak_size = 0;
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+    bool closed = false;
+  };
+
+  /// Capacity must be at least 1.
+  explicit JobQueue(std::size_t capacity);
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Blocks while the queue is full.  Returns false (dropping `item`)
+  /// when the queue is closed before space opens up.
+  bool push(QueuedJob item);
+
+  /// Blocks while the queue is empty.  Returns nullopt only after
+  /// close() AND the backlog has drained.
+  [[nodiscard]] std::optional<QueuedJob> pop();
+
+  /// Remove a not-yet-popped job.  False when the id is absent (it was
+  /// already popped, or never queued here).
+  bool remove(std::uint64_t id);
+
+  /// Remove and return everything still queued (an aborting shutdown
+  /// uses this to mark the backlog cancelled).
+  [[nodiscard]] std::vector<QueuedJob> drain();
+
+  /// Reject future pushes and wake every waiter.  Idempotent.
+  void close();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable space_available_;
+  std::condition_variable work_available_;
+  std::deque<QueuedJob> queue_;
+  bool closed_ = false;
+  std::size_t pushed_ = 0;
+  std::size_t popped_ = 0;
+  std::size_t removed_ = 0;
+  std::size_t push_waits_ = 0;
+  std::size_t peak_size_ = 0;
+};
+
+}  // namespace phes::server

@@ -1,0 +1,104 @@
+#pragma once
+// The job server's wire protocol: newline-delimited JSON.
+//
+// One request object per line, one response object per line.  Ops:
+//
+//   {"op":"ping"}
+//   {"op":"submit","path":"m.s2p","name":"m",
+//    "options":{"poles":12,"vf_iters":12,"stop_after":"verify",
+//               "warm_start":true}}
+//   {"op":"status","id":7}      or {"op":"status"} for all jobs
+//   {"op":"result","id":7}
+//   {"op":"cancel","id":7}
+//   {"op":"stats"}
+//   {"op":"shutdown","drain":true}
+//
+// Every response carries "ok"; failures add "error".  `result` embeds
+// the same per-job record as `phes_pipeline --summary-json`, flattened
+// to one line.  A cancel ack ("cancelled": true) means the request was
+// accepted — a job already inside its final stage still completes, and
+// the terminal state reported by status/result is authoritative.  The JSON support here is a deliberately small parser
+// for this protocol (objects/arrays/strings/doubles) — not a general
+// serialization library.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace phes::server {
+
+class JobServer;
+
+/// Minimal immutable JSON document (parse + read-only access).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  /// Parse one JSON document; trailing non-whitespace or malformed
+  /// input throws std::runtime_error with a character offset.
+  [[nodiscard]] static JsonValue parse(const std::string& text);
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept {
+    return type_ == Type::kNull;
+  }
+
+  /// Typed accessors; throw std::runtime_error on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  // Lookup with defaults, for optional request fields.
+  [[nodiscard]] bool bool_or(const std::string& key, bool fallback) const;
+  [[nodiscard]] double number_or(const std::string& key,
+                                 double fallback) const;
+  [[nodiscard]] std::uint64_t uint_or(const std::string& key,
+                                      std::uint64_t fallback) const;
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      const std::string& fallback) const;
+
+ private:
+  struct Parser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;  ///< array elements
+  std::vector<std::pair<std::string, JsonValue>> members_;  ///< object
+};
+
+/// JSON string helpers used when composing response lines.
+[[nodiscard]] std::string json_quote(const std::string& text);
+/// Collapse a pretty-printed JSON document to a single NDJSON-safe
+/// line (strips the formatting newlines and their indentation; string
+/// literals are unaffected because the escaper never emits raw
+/// newlines).
+[[nodiscard]] std::string single_line_json(const std::string& pretty);
+
+/// Outcome of one protocol request.
+struct RequestOutcome {
+  std::string response;  ///< one JSON line, no trailing '\n'
+  /// The request was a shutdown op: the transport should acknowledge,
+  /// then stop accepting and have its owner shut the server down.
+  bool shutdown_requested = false;
+  bool drain = true;  ///< shutdown mode requested
+};
+
+/// Execute one NDJSON request line against `server`.  Never throws:
+/// parse and dispatch errors come back as {"ok":false,...} responses.
+/// The shutdown op only reports the request — the caller decides when
+/// to invoke JobServer::shutdown (typically after flushing the ack).
+[[nodiscard]] RequestOutcome handle_request(JobServer& server,
+                                            const std::string& line);
+
+}  // namespace phes::server

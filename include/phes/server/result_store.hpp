@@ -1,0 +1,108 @@
+#pragma once
+// Retained job records — the server's answer to "what happened to job
+// N?" after the worker that ran it has moved on.
+//
+// Every submission gets a record at admission time; the record walks
+// queued -> running -> {done, failed, cancelled} and keeps the full
+// PipelineResult once the job finishes, so the `result` protocol op can
+// return the same machine-readable report as the batch summary writer.
+// Finished records are evicted oldest-first once the store exceeds its
+// retention cap (a long-lived server must not grow without bound);
+// queued/running records are never evicted.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "phes/pipeline/job.hpp"
+
+namespace phes::server {
+
+enum class JobState {
+  kQueued = 0,
+  kRunning,
+  kDone,       ///< finished with ok (includes stopped-early jobs)
+  kFailed,     ///< a stage failed
+  kCancelled,  ///< cancelled while queued or at a stage boundary
+};
+
+[[nodiscard]] const char* job_state_name(JobState state) noexcept;
+[[nodiscard]] bool is_terminal(JobState state) noexcept;
+
+struct JobRecord {
+  std::uint64_t id = 0;
+  std::string name;
+  JobState state = JobState::kQueued;
+  /// Last stage the pipeline started (meaningful once running).
+  pipeline::Stage stage = pipeline::Stage::kLoad;
+  bool stage_known = false;
+  /// Full result, valid once the state is terminal (a queued-cancel
+  /// leaves a synthesized cancelled result).
+  pipeline::PipelineResult result;
+};
+
+class ResultStore {
+ public:
+  explicit ResultStore(std::size_t max_finished = 4096);
+
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  /// Admission: creates the queued record.
+  void add(std::uint64_t id, const std::string& name);
+
+  /// queued -> running.  False when the record is gone or not queued
+  /// (e.g. it was cancelled while the worker popped it).
+  bool mark_running(std::uint64_t id);
+
+  /// Progress: the pipeline started `stage`.
+  void set_stage(std::uint64_t id, pipeline::Stage stage);
+
+  /// Terminal transition from a finished pipeline run; the state is
+  /// derived from the result (cancelled / ok / failed).
+  void finish(std::uint64_t id, pipeline::PipelineResult result);
+
+  /// queued -> cancelled (the job never ran).  False unless queued.
+  bool mark_cancelled(std::uint64_t id);
+
+  [[nodiscard]] std::optional<JobRecord> get(std::uint64_t id) const;
+  /// State-only lookup — no PipelineResult copy.  The hot path for
+  /// wait predicates and status polls.
+  [[nodiscard]] std::optional<JobState> state(std::uint64_t id) const;
+
+  /// What a status poll needs, without the PipelineResult payload.
+  struct JobSummary {
+    std::uint64_t id = 0;
+    std::string name;
+    JobState state = JobState::kQueued;
+    pipeline::Stage stage = pipeline::Stage::kLoad;
+    bool stage_known = false;
+    std::string status;  ///< PipelineResult::status(), terminal only
+  };
+  [[nodiscard]] std::optional<JobSummary> summary(std::uint64_t id) const;
+  /// Summaries of all records, ascending id — the status-all op; a
+  /// full all() would deep-copy every retained result per poll.
+  [[nodiscard]] std::vector<JobSummary> summaries() const;
+
+  /// All records, ascending id (full results; prefer summaries() for
+  /// polling).
+  [[nodiscard]] std::vector<JobRecord> all() const;
+
+  /// Record counts by state, indexed by static_cast<size_t>(JobState).
+  [[nodiscard]] std::vector<std::size_t> state_counts() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  void evict_finished_locked();
+
+  const std::size_t max_finished_;
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, JobRecord> records_;
+  std::size_t finished_ = 0;  ///< terminal records currently resident
+};
+
+}  // namespace phes::server

@@ -1,0 +1,166 @@
+#pragma once
+// phes::server::JobServer — the long-lived service core over the batch
+// pipeline.
+//
+// A bounded JobQueue (admission + backpressure) feeds a persistent
+// util::ThreadPool of workers; each worker runs jobs through
+// pipeline::run_pipeline with a PipelineContext that wires in
+//  - the cross-job engine::SessionPool (jobs over the same model hash
+//    share a SolverSession and its shift-factorization cache),
+//  - a per-job cancellation flag (polled at stage boundaries), and
+//  - a stage observer feeding the ResultStore's progress field.
+// Finished results land in the ResultStore keyed by job id, retrievable
+// via the NDJSON protocol (server/protocol.hpp) or in-process.
+//
+// Lifecycle: construct -> submit/cancel/status/result from any thread
+// -> shutdown(drain) exactly once (the destructor drains gracefully if
+// the caller did not).  Thread-safe throughout.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "phes/engine/session_pool.hpp"
+#include "phes/pipeline/batch.hpp"
+#include "phes/pipeline/job.hpp"
+#include "phes/server/job_queue.hpp"
+#include "phes/server/result_store.hpp"
+#include "phes/util/thread_pool.hpp"
+
+namespace phes::server {
+
+struct ServerOptions {
+  /// Queue bound; submit() blocks once this many jobs are waiting.
+  std::size_t queue_capacity = 64;
+  /// Concurrent pipeline workers; 0 derives a (workers x solver
+  /// threads) split from the hardware via pipeline::plan_parallelism.
+  std::size_t workers = 0;
+  /// Solver threads handed to every job; 0 => from the same plan.
+  std::size_t solver_threads = 0;
+  /// Pool sessions across jobs by model content hash.
+  bool share_sessions = true;
+  engine::SessionPoolOptions pool{};
+  /// Finished-record retention cap of the result store.
+  std::size_t max_finished_records = 4096;
+  /// Base options applied to submissions that do not override them.
+  pipeline::JobOptions job_defaults{};
+};
+
+struct ServerStats {
+  std::size_t submitted = 0;
+  std::size_t workers = 0;
+  std::size_t solver_threads = 0;
+  JobQueue::Stats queue;
+  engine::SessionPoolStats pool;
+  /// Counts by JobState, indexed by static_cast<size_t>(state).
+  std::vector<std::size_t> states;
+};
+
+class JobServer {
+ public:
+  explicit JobServer(ServerOptions options = {});
+  /// Graceful: drains queued work, then joins the workers.
+  ~JobServer();
+
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  /// Admit a job (id assigned here and returned; the record is visible
+  /// via status() immediately).  Blocks while the queue is full.
+  /// Throws std::runtime_error once shutdown has begun.
+  std::uint64_t submit(pipeline::PipelineJob job);
+
+  /// Cancel a job.  Queued: removed, never runs.  Running: its flag is
+  /// set and the pipeline stops at the next stage boundary — a true
+  /// return therefore means "cancellation requested", not "job did not
+  /// complete": a job already inside its final stage still finishes,
+  /// and the terminal record (done vs cancelled) is authoritative.
+  /// False when the job is unknown or already finished.
+  bool cancel(std::uint64_t id);
+
+  [[nodiscard]] std::optional<JobRecord> status(std::uint64_t id) const;
+  [[nodiscard]] std::vector<JobRecord> jobs() const;
+  /// Status-poll views without the PipelineResult payload (what the
+  /// protocol's status op serves).
+  [[nodiscard]] std::optional<ResultStore::JobSummary> job_summary(
+      std::uint64_t id) const;
+  [[nodiscard]] std::vector<ResultStore::JobSummary> job_summaries() const;
+  /// The full result once the job reached a terminal state.
+  [[nodiscard]] std::optional<pipeline::PipelineResult> result(
+      std::uint64_t id) const;
+
+  /// Block until job `id` reaches a terminal state.  False on timeout
+  /// (timeout_seconds <= 0 waits forever) or unknown id.
+  bool wait(std::uint64_t id, double timeout_seconds = 0.0);
+
+  /// Stop the server.  drain=true finishes everything already queued;
+  /// drain=false cancels the backlog and asks in-flight jobs to stop at
+  /// their next stage boundary.  Idempotent; submit() fails afterwards.
+  void shutdown(bool drain = true);
+  [[nodiscard]] bool accepting() const noexcept {
+    return accepting_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] const ServerOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Test/diagnostics hook: invoked as (job id, stage) when any job
+  /// starts a stage.  Set before jobs are submitted; runs on worker
+  /// threads.
+  void set_stage_observer(
+      std::function<void(std::uint64_t, pipeline::Stage)> observer);
+
+ private:
+  /// Delegation target so the (workers x solver threads) plan is
+  /// computed exactly once.
+  JobServer(ServerOptions options, pipeline::ParallelismPlan plan);
+
+  void worker_loop();
+  void run_one(QueuedJob item);
+  /// Wakes wait()ers; takes finished_mutex_ briefly so a state change
+  /// cannot slip between a waiter's predicate check and its block.
+  void notify_finished();
+  [[nodiscard]] std::shared_ptr<std::atomic<bool>> cancel_flag(
+      std::uint64_t id) const;
+
+  ServerOptions options_;
+  std::size_t worker_count_ = 1;
+  std::size_t solver_threads_ = 1;
+
+  JobQueue queue_;
+  ResultStore store_;
+  engine::SessionPool session_pool_;
+
+  mutable std::mutex flags_mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<std::atomic<bool>>>
+      cancel_flags_;
+
+  std::function<void(std::uint64_t, pipeline::Stage)> stage_observer_;
+
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<bool> accepting_{true};
+  /// An aborting shutdown is in progress: submissions racing past the
+  /// accepting() gate self-flag so none can slip in unflagged between
+  /// the abort's cancel sweep and the queue close.
+  std::atomic<bool> aborting_{false};
+  std::mutex shutdown_mutex_;
+  bool shutdown_done_ = false;
+
+  mutable std::mutex finished_mutex_;
+  std::condition_variable finished_cv_;
+
+  /// Declared last: destroyed (joined) first, while queue/store live.
+  util::ThreadPool pool_;
+};
+
+}  // namespace phes::server

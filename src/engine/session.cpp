@@ -174,6 +174,23 @@ core::SolverResult SolverSession::solve(const core::SolverOptions& opt) {
   return result;
 }
 
+std::size_t SolverSession::approx_memory_bytes() const {
+  const std::size_t n = realization_.order();
+  const std::size_t p = realization_.ports();
+  // Realization: C (p x n), D (p x p), pole blocks.
+  std::size_t bytes = (p * n + p * p) * sizeof(double) +
+                      realization_.blocks().size() * sizeof(macromodel::SimoBlock);
+  // Each cached operator holds the LU of the 2p x 2p SMW kernel (plus
+  // pivots, ignored here).
+  const std::size_t per_op = 4 * p * p * sizeof(la::Complex);
+  bytes += cache_.stats().entries * per_op;
+  // Warm-start record vectors.
+  bytes += (warm_.crossings.size() + warm_.shift_centers.size() +
+            warm_.shift_radii.size()) *
+           sizeof(double);
+  return bytes;
+}
+
 SessionStats SolverSession::stats() const {
   SessionStats s;
   s.cache = cache_.stats();

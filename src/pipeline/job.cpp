@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "phes/engine/session_pool.hpp"
 #include "phes/io/touchstone.hpp"
 #include "phes/macromodel/samples_io.hpp"
 #include "phes/macromodel/simo_realization.hpp"
@@ -42,6 +43,7 @@ Stage parse_stage(const std::string& name) {
 }
 
 std::string PipelineResult::status() const {
+  if (cancelled) return std::string("cancelled@") + stage_name(failed_stage);
   if (!ok) return std::string("failed@") + stage_name(failed_stage);
   const Stage last = stage_timings.empty() ? Stage::kLoad
                                            : stage_timings.back().stage;
@@ -60,20 +62,59 @@ macromodel::FrequencySamples load_input(const std::string& path) {
 }
 
 PipelineResult run_pipeline(const PipelineJob& job) {
+  return run_pipeline(job, PipelineContext{});
+}
+
+namespace {
+
+/// Per-job view of a (possibly shared, cumulative) session's counters.
+engine::SessionStats stats_since(const engine::SessionStats& now,
+                                 const engine::SessionStats& base) {
+  engine::SessionStats d = now;
+  d.cache.hits -= base.cache.hits;
+  d.cache.misses -= base.cache.misses;
+  d.cache.evictions -= base.cache.evictions;
+  // `entries` and `revision` are gauges: keep the current values.
+  d.solves -= base.solves;
+  d.warm_solves -= base.warm_solves;
+  d.factorizations -= base.factorizations;
+  return d;
+}
+
+}  // namespace
+
+PipelineResult run_pipeline(const PipelineJob& job,
+                            const PipelineContext& context) {
   PipelineResult result;
   result.name = job.name.empty() ? job.input_path : job.name;
+  result.id = job.id;
 
   const util::WallTimer total_timer;
   macromodel::FrequencySamples samples;
   vf::VectorFittingResult fit;
   // The solver session owns the realization and lives across the
   // characterize -> enforce -> verify stages, so factorizations and
-  // warm-start seeds carry over; constructed in kRealize.
-  std::unique_ptr<engine::SolverSession> session;
+  // warm-start seeds carry over; obtained in kRealize — either a
+  // private session, or a lease from the cross-job pool.
+  std::unique_ptr<engine::SolverSession> owned_session;
+  engine::SessionLease lease;
+  engine::SolverSession* session = nullptr;
+  engine::SessionStats session_base;  ///< pooled counters at checkout
 
   // Runs `body` as `stage`, recording its wall time; returns false when
-  // the stage threw (the pipeline stops) or the stop-after mark is hit.
+  // the job was cancelled, the stage threw (the pipeline stops), or the
+  // stop-after mark is hit.
   auto run_stage = [&](Stage stage, auto&& body) -> bool {
+    if (context.cancel != nullptr &&
+        context.cancel->load(std::memory_order_acquire)) {
+      result.ok = false;
+      result.cancelled = true;
+      result.failed_stage = stage;
+      result.error = std::string("cancelled before ") + stage_name(stage);
+      result.total_seconds = total_timer.seconds();
+      return false;
+    }
+    if (context.on_stage_start) context.on_stage_start(stage);
     const util::WallTimer timer;
     try {
       body();
@@ -107,9 +148,12 @@ PipelineResult run_pipeline(const PipelineJob& job) {
   }
 
   // Stage bodies return early via run_stage; capture whatever session
-  // statistics exist so partial runs still report their reuse.
+  // statistics exist so partial runs still report their reuse.  Pooled
+  // sessions carry counters from previous jobs, so report the delta.
   const auto stamp_session_stats = [&] {
-    if (session) result.session = session->stats();
+    if (session != nullptr) {
+      result.session = stats_since(session->stats(), session_base);
+    }
   };
 
   // -- fit (vector fitting) --------------------------------------------
@@ -132,8 +176,21 @@ PipelineResult run_pipeline(const PipelineJob& job) {
 
   // -- realize (structured SIMO state space) ---------------------------
   if (!run_stage(Stage::kRealize, [&] {
-        session = std::make_unique<engine::SolverSession>(
-            macromodel::SimoRealization(fit.model), job.options.session);
+        macromodel::SimoRealization realization(fit.model);
+        // A job that explicitly asks for cold solves gets a private
+        // session: a pooled one is configured at pool level and could
+        // hand this job another job's warm cache.
+        if (context.session_pool != nullptr &&
+            job.options.session.warm_start) {
+          lease = context.session_pool->checkout(std::move(realization));
+          session = &lease.session();
+          result.session_reused = lease.reused();
+          session_base = session->stats();
+        } else {
+          owned_session = std::make_unique<engine::SolverSession>(
+              std::move(realization), job.options.session);
+          session = owned_session.get();
+        }
       })) {
     return result;
   }

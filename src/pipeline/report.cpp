@@ -67,64 +67,74 @@ std::string json_escape(const std::string& text) {
   return out;
 }
 
+void write_job_json(const PipelineResult& r, std::ostream& os,
+                    std::size_t indent) {
+  const std::string pad(indent, ' ');
+  const bool characterized = stage_ran(r, Stage::kCharacterize);
+  const bool verified = stage_ran(r, Stage::kVerify);
+  os << pad << "{\n";
+  os << pad << "  \"name\": \"" << json_escape(r.name) << "\",\n";
+  os << pad << "  \"id\": " << r.id << ",\n";
+  os << pad << "  \"status\": \"" << json_escape(r.status()) << "\",\n";
+  os << pad << "  \"ok\": " << (r.ok ? "true" : "false") << ",\n";
+  os << pad << "  \"completed\": " << (r.completed ? "true" : "false")
+     << ",\n";
+  os << pad << "  \"cancelled\": " << (r.cancelled ? "true" : "false")
+     << ",\n";
+  if (!r.ok) {
+    os << pad << "  \"error\": \"" << json_escape(r.error) << "\",\n";
+    os << pad << "  \"failed_stage\": \"" << stage_name(r.failed_stage)
+       << "\",\n";
+  }
+  os << pad << "  \"samples\": " << r.sample_count << ",\n";
+  os << pad << "  \"ports\": " << r.ports << ",\n";
+  os << pad << "  \"order\": " << r.order << ",\n";
+  os << pad << "  \"fit_rms\": " << fmt(r.fit_rms) << ",\n";
+  os << pad << "  \"bands_initial\": "
+     << (characterized ? std::to_string(r.initial_report.bands.size())
+                       : std::string("null"))
+     << ",\n";
+  os << pad << "  \"bands_final\": "
+     << (verified ? std::to_string(r.final_report.bands.size())
+                  : std::string("null"))
+     << ",\n";
+  os << pad << "  \"certified_passive\": "
+     << (r.certified_passive ? "true" : "false") << ",\n";
+  os << pad << "  \"enforcement\": { \"run\": "
+     << (r.enforcement_run ? "true" : "false")
+     << ", \"iterations\": " << r.enforcement.iterations
+     << ", \"characterizations\": " << r.enforcement.characterizations
+     << ", \"relative_model_change\": "
+     << fmt(r.enforcement.relative_model_change) << " },\n";
+  os << pad << "  \"session\": { \"cache_hits\": " << r.session.cache.hits
+     << ", \"cache_misses\": " << r.session.cache.misses
+     << ", \"cache_evictions\": " << r.session.cache.evictions
+     << ", \"factorizations\": " << r.session.factorizations
+     << ", \"solves\": " << r.session.solves
+     << ", \"warm_solves\": " << r.session.warm_solves
+     << ", \"revision\": " << r.session.revision
+     << ", \"reused\": " << (r.session_reused ? "true" : "false")
+     << " },\n";
+  os << pad << "  \"total_matvecs\": " << job_matvecs(r) << ",\n";
+  os << pad << "  \"stage_seconds\": {";
+  bool first = true;
+  for (const Stage stage : kAllStages) {
+    if (!stage_ran(r, stage)) continue;
+    os << (first ? " " : ", ") << "\"" << stage_name(stage)
+       << "\": " << fmt(stage_seconds(r, stage));
+    first = false;
+  }
+  os << " },\n";
+  os << pad << "  \"total_seconds\": " << fmt(r.total_seconds) << "\n";
+  os << pad << "}";
+}
+
 void write_summary_json(const std::vector<PipelineResult>& results,
                         std::ostream& os) {
   os << "{\n  \"jobs\": [";
   for (std::size_t i = 0; i < results.size(); ++i) {
-    const auto& r = results[i];
-    const bool characterized = stage_ran(r, Stage::kCharacterize);
-    const bool verified = stage_ran(r, Stage::kVerify);
     os << (i == 0 ? "\n" : ",\n");
-    os << "    {\n";
-    os << "      \"name\": \"" << json_escape(r.name) << "\",\n";
-    os << "      \"status\": \"" << json_escape(r.status()) << "\",\n";
-    os << "      \"ok\": " << (r.ok ? "true" : "false") << ",\n";
-    os << "      \"completed\": " << (r.completed ? "true" : "false")
-       << ",\n";
-    if (!r.ok) {
-      os << "      \"error\": \"" << json_escape(r.error) << "\",\n";
-      os << "      \"failed_stage\": \"" << stage_name(r.failed_stage)
-         << "\",\n";
-    }
-    os << "      \"samples\": " << r.sample_count << ",\n";
-    os << "      \"ports\": " << r.ports << ",\n";
-    os << "      \"order\": " << r.order << ",\n";
-    os << "      \"fit_rms\": " << fmt(r.fit_rms) << ",\n";
-    os << "      \"bands_initial\": "
-       << (characterized ? std::to_string(r.initial_report.bands.size())
-                         : std::string("null"))
-       << ",\n";
-    os << "      \"bands_final\": "
-       << (verified ? std::to_string(r.final_report.bands.size())
-                    : std::string("null"))
-       << ",\n";
-    os << "      \"certified_passive\": "
-       << (r.certified_passive ? "true" : "false") << ",\n";
-    os << "      \"enforcement\": { \"run\": "
-       << (r.enforcement_run ? "true" : "false")
-       << ", \"iterations\": " << r.enforcement.iterations
-       << ", \"characterizations\": " << r.enforcement.characterizations
-       << ", \"relative_model_change\": "
-       << fmt(r.enforcement.relative_model_change) << " },\n";
-    os << "      \"session\": { \"cache_hits\": " << r.session.cache.hits
-       << ", \"cache_misses\": " << r.session.cache.misses
-       << ", \"cache_evictions\": " << r.session.cache.evictions
-       << ", \"factorizations\": " << r.session.factorizations
-       << ", \"solves\": " << r.session.solves
-       << ", \"warm_solves\": " << r.session.warm_solves
-       << ", \"revision\": " << r.session.revision << " },\n";
-    os << "      \"total_matvecs\": " << job_matvecs(r) << ",\n";
-    os << "      \"stage_seconds\": {";
-    bool first = true;
-    for (const Stage stage : kAllStages) {
-      if (!stage_ran(r, stage)) continue;
-      os << (first ? " " : ", ") << "\"" << stage_name(stage)
-         << "\": " << fmt(stage_seconds(r, stage));
-      first = false;
-    }
-    os << " },\n";
-    os << "      \"total_seconds\": " << fmt(r.total_seconds) << "\n";
-    os << "    }";
+    write_job_json(results[i], os, 4);
   }
   os << "\n  ],\n";
 
@@ -146,9 +156,10 @@ void write_summary_json(const std::vector<PipelineResult>& results,
 
 void write_summary_csv(const std::vector<PipelineResult>& results,
                        std::ostream& os) {
-  os << "job,status,ok,ports,order,fit_rms,bands_initial,bands_final,"
-        "enforce_iterations,cache_hits,cache_misses,cache_evictions,"
-        "factorizations,solves,warm_solves,total_matvecs,"
+  os << "job,id,status,ok,cancelled,ports,order,fit_rms,bands_initial,"
+        "bands_final,enforce_iterations,cache_hits,cache_misses,"
+        "cache_evictions,factorizations,solves,warm_solves,"
+        "session_reused,total_matvecs,"
         "seconds_load,seconds_fit,seconds_realize,seconds_characterize,"
         "seconds_enforce,seconds_verify,seconds_total\n";
   for (const auto& r : results) {
@@ -165,7 +176,8 @@ void write_summary_csv(const std::vector<PipelineResult>& results,
       quoted += '"';
       name = quoted;
     }
-    os << name << ',' << r.status() << ',' << (r.ok ? 1 : 0) << ','
+    os << name << ',' << r.id << ',' << r.status() << ',' << (r.ok ? 1 : 0)
+       << ',' << (r.cancelled ? 1 : 0) << ','
        << r.ports << ',' << r.order << ',' << fmt(r.fit_rms) << ','
        << (characterized ? std::to_string(r.initial_report.bands.size())
                          : std::string())
@@ -176,7 +188,7 @@ void write_summary_csv(const std::vector<PipelineResult>& results,
        << ',' << r.session.cache.misses << ','
        << r.session.cache.evictions << ',' << r.session.factorizations
        << ',' << r.session.solves << ',' << r.session.warm_solves << ','
-       << job_matvecs(r);
+       << (r.session_reused ? 1 : 0) << ',' << job_matvecs(r);
     for (const Stage stage : kAllStages) {
       os << ',' << fmt(stage_seconds(r, stage));
     }

@@ -1,0 +1,97 @@
+#include "phes/server/job_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "phes/util/check.hpp"
+
+namespace phes::server {
+
+JobQueue::JobQueue(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+bool JobQueue::push(QueuedJob item) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (queue_.size() >= capacity_ && !closed_) ++push_waits_;
+  space_available_.wait(
+      lock, [&] { return closed_ || queue_.size() < capacity_; });
+  if (closed_) return false;
+  queue_.push_back(std::move(item));
+  ++pushed_;
+  peak_size_ = std::max(peak_size_, queue_.size());
+  lock.unlock();
+  work_available_.notify_one();
+  return true;
+}
+
+std::optional<QueuedJob> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_available_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;  // closed and drained
+  QueuedJob item = std::move(queue_.front());
+  queue_.pop_front();
+  ++popped_;
+  lock.unlock();
+  space_available_.notify_one();
+  return item;
+}
+
+bool JobQueue::remove(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it =
+      std::find_if(queue_.begin(), queue_.end(),
+                   [id](const QueuedJob& q) { return q.id == id; });
+  if (it == queue_.end()) return false;
+  queue_.erase(it);
+  ++removed_;
+  lock.unlock();
+  space_available_.notify_one();
+  return true;
+}
+
+std::vector<QueuedJob> JobQueue::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::vector<QueuedJob> out;
+  out.reserve(queue_.size());
+  for (auto& q : queue_) out.push_back(std::move(q));
+  removed_ += queue_.size();
+  queue_.clear();
+  lock.unlock();
+  space_available_.notify_all();
+  return out;
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  space_available_.notify_all();
+  work_available_.notify_all();
+}
+
+std::size_t JobQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+JobQueue::Stats JobQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.pushed = pushed_;
+  s.popped = popped_;
+  s.removed = removed_;
+  s.push_waits = push_waits_;
+  s.peak_size = peak_size_;
+  s.size = queue_.size();
+  s.capacity = capacity_;
+  s.closed = closed_;
+  return s;
+}
+
+}  // namespace phes::server

@@ -1,0 +1,446 @@
+#include "phes/server/protocol.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "phes/pipeline/report.hpp"
+#include "phes/server/server.hpp"
+
+namespace phes::server {
+
+// ---- JsonValue --------------------------------------------------------
+
+struct JsonValue::Parser {
+  /// Nesting bound: parse_value recurses per '['/'{', and a server
+  /// must answer a hostile deeply-nested line with an error response,
+  /// not a stack overflow.  Protocol requests nest 2-3 levels deep.
+  static constexpr std::size_t kMaxDepth = 64;
+
+  const std::string& text;
+  std::size_t pos = 0;
+  std::size_t depth = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON parse error at offset " +
+                             std::to_string(pos) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  char peek() {
+    if (pos >= text.size()) fail("unexpected end of input");
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + text[pos] + "'");
+    }
+    ++pos;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t i = 0;
+    while (lit[i] != '\0') {
+      if (pos + i >= text.size() || text[pos + i] != lit[i]) return false;
+      ++i;
+    }
+    pos += i;
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos >= text.size()) fail("unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) fail("unterminated escape");
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += 10u + (h - 'a');
+            else if (h >= 'A' && h <= 'F') code += 10u + (h - 'A');
+            else fail("bad \\u escape digit");
+          }
+          // Minimal UTF-8 encoding (surrogate pairs unsupported: the
+          // protocol's strings are paths/names, and the writer only
+          // emits \u for control characters).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    JsonValue v;
+    const char c = peek();
+    if (c == 'n') {
+      if (!consume_literal("null")) fail("bad literal");
+      v.type_ = Type::kNull;
+    } else if (c == 't') {
+      if (!consume_literal("true")) fail("bad literal");
+      v.type_ = Type::kBool;
+      v.bool_ = true;
+    } else if (c == 'f') {
+      if (!consume_literal("false")) fail("bad literal");
+      v.type_ = Type::kBool;
+      v.bool_ = false;
+    } else if (c == '"') {
+      v.type_ = Type::kString;
+      v.string_ = parse_string();
+    } else if (c == '[') {
+      ++pos;
+      if (++depth > kMaxDepth) fail("nesting too deep");
+      v.type_ = Type::kArray;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos;
+      } else {
+        for (;;) {
+          v.items_.push_back(parse_value());
+          skip_ws();
+          if (peek() == ',') {
+            ++pos;
+            continue;
+          }
+          expect(']');
+          break;
+        }
+      }
+      --depth;
+    } else if (c == '{') {
+      ++pos;
+      if (++depth > kMaxDepth) fail("nesting too deep");
+      v.type_ = Type::kObject;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos;
+      } else {
+        for (;;) {
+          skip_ws();
+          std::string key = parse_string();
+          skip_ws();
+          expect(':');
+          v.members_.emplace_back(std::move(key), parse_value());
+          skip_ws();
+          if (peek() == ',') {
+            ++pos;
+            continue;
+          }
+          expect('}');
+          break;
+        }
+      }
+      --depth;
+    } else if (c == '-' || (c >= '0' && c <= '9')) {
+      const std::size_t start = pos;
+      if (peek() == '-') ++pos;
+      while (pos < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+              text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+              text[pos] == '+' || text[pos] == '-')) {
+        ++pos;
+      }
+      const std::string num = text.substr(start, pos - start);
+      try {
+        std::size_t used = 0;
+        v.number_ = std::stod(num, &used);
+        if (used != num.size()) fail("bad number '" + num + "'");
+      } catch (const std::exception&) {
+        fail("bad number '" + num + "'");
+      }
+      v.type_ = Type::kNumber;
+    } else {
+      fail(std::string("unexpected character '") + c + "'");
+    }
+    return v;
+  }
+};
+
+JsonValue JsonValue::parse(const std::string& text) {
+  Parser parser{text};
+  JsonValue v = parser.parse_value();
+  parser.skip_ws();
+  if (parser.pos != text.size()) parser.fail("trailing content");
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::kBool) throw std::runtime_error("JSON: not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (type_ != Type::kNumber) throw std::runtime_error("JSON: not a number");
+  return number_;
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  const double n = as_number();
+  if (n < 0.0 || std::floor(n) != n) {
+    throw std::runtime_error("JSON: not a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(n);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::kString) throw std::runtime_error("JSON: not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (type_ != Type::kArray) throw std::runtime_error("JSON: not an array");
+  return items_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool JsonValue::bool_or(const std::string& key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return v == nullptr ? fallback : v->as_bool();
+}
+
+double JsonValue::number_or(const std::string& key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v == nullptr ? fallback : v->as_number();
+}
+
+std::uint64_t JsonValue::uint_or(const std::string& key,
+                                 std::uint64_t fallback) const {
+  const JsonValue* v = find(key);
+  return v == nullptr ? fallback : v->as_uint();
+}
+
+std::string JsonValue::string_or(const std::string& key,
+                                 const std::string& fallback) const {
+  const JsonValue* v = find(key);
+  return v == nullptr ? fallback : v->as_string();
+}
+
+// ---- Response composition ---------------------------------------------
+
+std::string json_quote(const std::string& text) {
+  return "\"" + pipeline::json_escape(text) + "\"";
+}
+
+std::string single_line_json(const std::string& pretty) {
+  std::string out;
+  out.reserve(pretty.size());
+  for (std::size_t i = 0; i < pretty.size(); ++i) {
+    if (pretty[i] == '\n') {
+      while (i + 1 < pretty.size() && pretty[i + 1] == ' ') ++i;
+      continue;
+    }
+    out += pretty[i];
+  }
+  return out;
+}
+
+namespace {
+
+std::string error_response(const std::string& message) {
+  return "{\"ok\": false, \"error\": " + json_quote(message) + "}";
+}
+
+/// The compact record used by `status` responses.
+std::string record_json(const ResultStore::JobSummary& record) {
+  std::ostringstream os;
+  os << "{\"id\": " << record.id << ", \"name\": "
+     << json_quote(record.name) << ", \"state\": \""
+     << job_state_name(record.state) << "\"";
+  if (record.stage_known) {
+    os << ", \"stage\": \"" << pipeline::stage_name(record.stage) << "\"";
+  }
+  if (is_terminal(record.state)) {
+    os << ", \"status\": " << json_quote(record.status);
+  }
+  return os.str() + "}";
+}
+
+std::string handle_submit(JobServer& server, const JsonValue& request) {
+  const std::string path = request.string_or("path", "");
+  if (path.empty()) {
+    return error_response("submit: missing \"path\"");
+  }
+  pipeline::PipelineJob job;
+  job.input_path = path;
+  job.name = request.string_or("name", "");
+  job.options = server.options().job_defaults;
+  if (const JsonValue* options = request.find("options")) {
+    job.options.fit.num_poles = static_cast<std::size_t>(
+        options->uint_or("poles", job.options.fit.num_poles));
+    job.options.fit.iterations = static_cast<std::size_t>(
+        options->uint_or("vf_iters", job.options.fit.iterations));
+    job.options.session.warm_start =
+        options->bool_or("warm_start", job.options.session.warm_start);
+    if (const JsonValue* stop = options->find("stop_after")) {
+      job.options.stop_after = pipeline::parse_stage(stop->as_string());
+    }
+  }
+  const std::uint64_t id = server.submit(std::move(job));
+  return "{\"ok\": true, \"op\": \"submit\", \"id\": " +
+         std::to_string(id) + "}";
+}
+
+std::string handle_status(JobServer& server, const JsonValue& request) {
+  if (const JsonValue* id_value = request.find("id")) {
+    const std::uint64_t id = id_value->as_uint();
+    const auto record = server.job_summary(id);
+    if (!record) {
+      return error_response("status: unknown job id " + std::to_string(id));
+    }
+    return "{\"ok\": true, \"job\": " + record_json(*record) + "}";
+  }
+  std::string out = "{\"ok\": true, \"jobs\": [";
+  bool first = true;
+  for (const auto& record : server.job_summaries()) {
+    if (!first) out += ", ";
+    out += record_json(record);
+    first = false;
+  }
+  return out + "]}";
+}
+
+std::string handle_result(JobServer& server, const JsonValue& request) {
+  const JsonValue* id_value = request.find("id");
+  if (id_value == nullptr) return error_response("result: missing \"id\"");
+  const std::uint64_t id = id_value->as_uint();
+  const auto record = server.status(id);
+  if (!record) {
+    return error_response("result: unknown job id " + std::to_string(id));
+  }
+  if (!is_terminal(record->state)) {
+    return "{\"ok\": true, \"id\": " + std::to_string(id) +
+           ", \"state\": \"" + job_state_name(record->state) +
+           "\", \"job\": null}";
+  }
+  std::ostringstream job_json;
+  pipeline::write_job_json(record->result, job_json);
+  return "{\"ok\": true, \"id\": " + std::to_string(id) +
+         ", \"state\": \"" + job_state_name(record->state) +
+         "\", \"job\": " + single_line_json(job_json.str()) + "}";
+}
+
+std::string handle_cancel(JobServer& server, const JsonValue& request) {
+  const JsonValue* id_value = request.find("id");
+  if (id_value == nullptr) return error_response("cancel: missing \"id\"");
+  const std::uint64_t id = id_value->as_uint();
+  const bool cancelled = server.cancel(id);
+  return "{\"ok\": true, \"id\": " + std::to_string(id) +
+         ", \"cancelled\": " + (cancelled ? "true" : "false") + "}";
+}
+
+std::string handle_stats(JobServer& server) {
+  const ServerStats stats = server.stats();
+  std::ostringstream os;
+  os << "{\"ok\": true, \"submitted\": " << stats.submitted
+     << ", \"workers\": " << stats.workers
+     << ", \"solver_threads\": " << stats.solver_threads;
+  os << ", \"queue\": {\"size\": " << stats.queue.size
+     << ", \"capacity\": " << stats.queue.capacity
+     << ", \"pushed\": " << stats.queue.pushed
+     << ", \"popped\": " << stats.queue.popped
+     << ", \"removed\": " << stats.queue.removed
+     << ", \"push_waits\": " << stats.queue.push_waits
+     << ", \"peak_size\": " << stats.queue.peak_size << "}";
+  os << ", \"session_pool\": {\"checkouts\": " << stats.pool.checkouts
+     << ", \"pool_hits\": " << stats.pool.pool_hits
+     << ", \"creations\": " << stats.pool.creations
+     << ", \"restores\": " << stats.pool.restores
+     << ", \"evictions\": " << stats.pool.evictions
+     << ", \"idle_sessions\": " << stats.pool.idle_sessions
+     << ", \"leased_sessions\": " << stats.pool.leased_sessions
+     << ", \"idle_bytes\": " << stats.pool.idle_bytes << "}";
+  os << ", \"jobs\": {";
+  for (std::size_t i = 0; i < stats.states.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << "\""
+       << job_state_name(static_cast<JobState>(i))
+       << "\": " << stats.states[i];
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace
+
+RequestOutcome handle_request(JobServer& server, const std::string& line) {
+  RequestOutcome outcome;
+  try {
+    const JsonValue request = JsonValue::parse(line);
+    const std::string op = request.string_or("op", "");
+    if (op == "ping") {
+      outcome.response = "{\"ok\": true, \"op\": \"ping\"}";
+    } else if (op == "submit") {
+      outcome.response = handle_submit(server, request);
+    } else if (op == "status") {
+      outcome.response = handle_status(server, request);
+    } else if (op == "result") {
+      outcome.response = handle_result(server, request);
+    } else if (op == "cancel") {
+      outcome.response = handle_cancel(server, request);
+    } else if (op == "stats") {
+      outcome.response = handle_stats(server);
+    } else if (op == "shutdown") {
+      outcome.shutdown_requested = true;
+      outcome.drain = request.bool_or("drain", true);
+      outcome.response = std::string("{\"ok\": true, \"op\": \"shutdown\", "
+                                     "\"drain\": ") +
+                         (outcome.drain ? "true" : "false") + "}";
+    } else if (op.empty()) {
+      outcome.response = error_response("missing \"op\"");
+    } else {
+      outcome.response = error_response("unknown op '" + op + "'");
+    }
+  } catch (const std::exception& e) {
+    outcome.response = error_response(e.what());
+  }
+  return outcome;
+}
+
+}  // namespace phes::server

@@ -1,0 +1,169 @@
+#include "phes/server/result_store.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace phes::server {
+
+const char* job_state_name(JobState state) noexcept {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+bool is_terminal(JobState state) noexcept {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+ResultStore::ResultStore(std::size_t max_finished)
+    : max_finished_(std::max<std::size_t>(1, max_finished)) {}
+
+void ResultStore::add(std::uint64_t id, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JobRecord rec;
+  rec.id = id;
+  rec.name = name;
+  rec.state = JobState::kQueued;
+  records_[id] = std::move(rec);
+}
+
+bool ResultStore::mark_running(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(id);
+  if (it == records_.end() || it->second.state != JobState::kQueued) {
+    return false;
+  }
+  it->second.state = JobState::kRunning;
+  return true;
+}
+
+void ResultStore::set_stage(std::uint64_t id, pipeline::Stage stage) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(id);
+  if (it == records_.end()) return;
+  it->second.stage = stage;
+  it->second.stage_known = true;
+}
+
+void ResultStore::finish(std::uint64_t id, pipeline::PipelineResult result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(id);
+  if (it == records_.end()) return;
+  auto& rec = it->second;
+  if (is_terminal(rec.state)) return;  // lost race with a queued-cancel
+  rec.state = result.cancelled ? JobState::kCancelled
+              : result.ok      ? JobState::kDone
+                               : JobState::kFailed;
+  rec.result = std::move(result);
+  ++finished_;
+  evict_finished_locked();
+}
+
+bool ResultStore::mark_cancelled(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(id);
+  if (it == records_.end() || it->second.state != JobState::kQueued) {
+    return false;
+  }
+  auto& rec = it->second;
+  rec.state = JobState::kCancelled;
+  // Synthesize a minimal cancelled result so `result` ops stay uniform.
+  rec.result.name = rec.name;
+  rec.result.id = id;
+  rec.result.ok = false;
+  rec.result.cancelled = true;
+  rec.result.failed_stage = pipeline::Stage::kLoad;
+  rec.result.error = "cancelled while queued";
+  ++finished_;
+  evict_finished_locked();
+  return true;
+}
+
+void ResultStore::evict_finished_locked() {
+  if (finished_ <= max_finished_) return;
+  for (auto it = records_.begin();
+       it != records_.end() && finished_ > max_finished_;) {
+    if (is_terminal(it->second.state)) {
+      it = records_.erase(it);
+      --finished_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::optional<JobRecord> ResultStore::get(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(id);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<JobState> ResultStore::state(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(id);
+  if (it == records_.end()) return std::nullopt;
+  return it->second.state;
+}
+
+namespace {
+
+ResultStore::JobSummary summarize(const JobRecord& rec) {
+  ResultStore::JobSummary s;
+  s.id = rec.id;
+  s.name = rec.name;
+  s.state = rec.state;
+  s.stage = rec.stage;
+  s.stage_known = rec.stage_known;
+  if (is_terminal(rec.state)) s.status = rec.result.status();
+  return s;
+}
+
+}  // namespace
+
+std::optional<ResultStore::JobSummary> ResultStore::summary(
+    std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(id);
+  if (it == records_.end()) return std::nullopt;
+  return summarize(it->second);
+}
+
+std::vector<ResultStore::JobSummary> ResultStore::summaries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JobSummary> out;
+  out.reserve(records_.size());
+  for (const auto& [id, rec] : records_) out.push_back(summarize(rec));
+  return out;
+}
+
+std::vector<JobRecord> ResultStore::all() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JobRecord> out;
+  out.reserve(records_.size());
+  for (const auto& [id, rec] : records_) out.push_back(rec);
+  return out;
+}
+
+std::vector<std::size_t> ResultStore::state_counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::size_t> counts(
+      static_cast<std::size_t>(JobState::kCancelled) + 1, 0);
+  for (const auto& [id, rec] : records_) {
+    ++counts[static_cast<std::size_t>(rec.state)];
+  }
+  return counts;
+}
+
+std::size_t ResultStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+}  // namespace phes::server

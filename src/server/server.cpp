@@ -1,0 +1,252 @@
+#include "phes/server/server.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "phes/pipeline/batch.hpp"
+
+namespace phes::server {
+
+namespace {
+
+pipeline::ParallelismPlan server_plan(const ServerOptions& options) {
+  // The queue bound doubles as the expected concurrency level: with a
+  // full queue the server behaves like a batch of `queue_capacity`
+  // jobs, so split the hardware the same way BatchRunner would.
+  pipeline::ParallelismPlan plan =
+      pipeline::plan_parallelism(0, options.queue_capacity);
+  if (options.workers > 0) plan.job_workers = options.workers;
+  if (options.solver_threads > 0) {
+    plan.solver_threads = options.solver_threads;
+  }
+  return plan;
+}
+
+}  // namespace
+
+JobServer::JobServer(ServerOptions options)
+    : JobServer(options, server_plan(options)) {}
+
+JobServer::JobServer(ServerOptions options, pipeline::ParallelismPlan plan)
+    : options_(std::move(options)),
+      worker_count_(plan.job_workers),
+      solver_threads_(plan.solver_threads),
+      queue_(options_.queue_capacity),
+      store_(options_.max_finished_records),
+      session_pool_(options_.pool),
+      pool_(worker_count_) {
+  for (std::size_t i = 0; i < worker_count_; ++i) {
+    pool_.submit([this] { worker_loop(); });
+  }
+}
+
+JobServer::~JobServer() { shutdown(true); }
+
+std::uint64_t JobServer::submit(pipeline::PipelineJob job) {
+  if (!accepting()) {
+    throw std::runtime_error("JobServer::submit: server is shutting down");
+  }
+  const std::uint64_t id = next_id_.fetch_add(1);
+  job.id = id;
+  const std::string name = job.name.empty() ? job.input_path : job.name;
+  store_.add(id, name);
+  const auto flag = std::make_shared<std::atomic<bool>>(false);
+  {
+    std::lock_guard<std::mutex> lock(flags_mutex_);
+    cancel_flags_[id] = flag;
+  }
+  submitted_.fetch_add(1);
+  // Backpressure: blocks while the queue is full.  The record already
+  // exists, so clients polling `status` see the job as queued.
+  if (!queue_.push(QueuedJob{id, std::move(job)})) {
+    // Shutdown closed the queue while we were blocked.
+    store_.mark_cancelled(id);
+    {
+      std::lock_guard<std::mutex> lock(flags_mutex_);
+      cancel_flags_.erase(id);
+    }
+    notify_finished();
+    throw std::runtime_error("JobServer::submit: server is shutting down");
+  }
+  // Close the submit/abort race: a submission that slipped past the
+  // accepting() gate while shutdown(false) swept the cancel flags must
+  // not run — self-flag so the worker cancels it at its first stage.
+  if (aborting_.load(std::memory_order_acquire)) {
+    flag->store(true, std::memory_order_release);
+  }
+  return id;
+}
+
+bool JobServer::cancel(std::uint64_t id) {
+  // Still queued: pull it out before a worker sees it.
+  if (queue_.remove(id)) {
+    store_.mark_cancelled(id);
+    {
+      std::lock_guard<std::mutex> lock(flags_mutex_);
+      cancel_flags_.erase(id);
+    }
+    notify_finished();
+    return true;
+  }
+  // Popped (or being popped): flag it so the pipeline stops at its next
+  // stage boundary.  The flag also covers the pop/mark_running window.
+  const auto state = store_.state(id);
+  if (!state || is_terminal(*state)) return false;
+  if (const auto flag = cancel_flag(id)) {
+    flag->store(true, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+std::shared_ptr<std::atomic<bool>> JobServer::cancel_flag(
+    std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(flags_mutex_);
+  const auto it = cancel_flags_.find(id);
+  return it == cancel_flags_.end() ? nullptr : it->second;
+}
+
+std::optional<JobRecord> JobServer::status(std::uint64_t id) const {
+  return store_.get(id);
+}
+
+std::vector<JobRecord> JobServer::jobs() const { return store_.all(); }
+
+std::optional<ResultStore::JobSummary> JobServer::job_summary(
+    std::uint64_t id) const {
+  return store_.summary(id);
+}
+
+std::vector<ResultStore::JobSummary> JobServer::job_summaries() const {
+  return store_.summaries();
+}
+
+std::optional<pipeline::PipelineResult> JobServer::result(
+    std::uint64_t id) const {
+  const auto record = store_.get(id);
+  if (!record || !is_terminal(record->state)) return std::nullopt;
+  return record->result;
+}
+
+bool JobServer::wait(std::uint64_t id, double timeout_seconds) {
+  // Unknown ids (never submitted, or finished + evicted by the result
+  // store's retention cap) must fail fast, not block forever.
+  const auto finished_or_gone = [&] {
+    const auto state = store_.state(id);
+    return !state || is_terminal(*state);
+  };
+  {
+    std::unique_lock<std::mutex> lock(finished_mutex_);
+    if (timeout_seconds <= 0.0) {
+      finished_cv_.wait(lock, finished_or_gone);
+    } else if (!finished_cv_.wait_for(
+                   lock, std::chrono::duration<double>(timeout_seconds),
+                   finished_or_gone)) {
+      return false;
+    }
+  }
+  const auto state = store_.state(id);
+  return state && is_terminal(*state);
+}
+
+void JobServer::shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    if (shutdown_done_) return;
+    shutdown_done_ = true;
+  }
+  accepting_.store(false, std::memory_order_release);
+  if (!drain) {
+    // Abort: cancel the backlog and ask in-flight jobs to stop at
+    // their next stage boundary.  `aborting_` is published first so a
+    // submit racing past the accepting() gate self-flags (see submit).
+    aborting_.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(flags_mutex_);
+    for (auto& item : queue_.drain()) {
+      store_.mark_cancelled(item.id);
+      // Drained jobs never reach run_one, so reap their flags here.
+      cancel_flags_.erase(item.id);
+    }
+    for (auto& [id, flag] : cancel_flags_) {
+      flag->store(true, std::memory_order_release);
+    }
+  }
+  // Wake blocked producers/consumers; workers drain what remains (the
+  // whole backlog when draining, nothing otherwise) and exit.
+  queue_.close();
+  pool_.wait_idle();
+  notify_finished();
+}
+
+void JobServer::notify_finished() {
+  { std::lock_guard<std::mutex> lock(finished_mutex_); }
+  finished_cv_.notify_all();
+}
+
+void JobServer::worker_loop() {
+  while (auto item = queue_.pop()) {
+    run_one(std::move(*item));
+  }
+}
+
+void JobServer::run_one(QueuedJob item) {
+  const std::uint64_t id = item.id;
+  const auto flag = cancel_flag(id);
+  if (!store_.mark_running(id)) {
+    // The record went terminal while queued (cancel race): drop it.
+    {
+      std::lock_guard<std::mutex> lock(flags_mutex_);
+      cancel_flags_.erase(id);
+    }
+    notify_finished();
+    return;
+  }
+
+  pipeline::PipelineContext context;
+  if (options_.share_sessions) context.session_pool = &session_pool_;
+  context.cancel = flag.get();
+  context.on_stage_start = [this, id](pipeline::Stage stage) {
+    store_.set_stage(id, stage);
+    if (stage_observer_) stage_observer_(id, stage);
+  };
+
+  item.job.options.solver.threads = solver_threads_;
+
+  pipeline::PipelineResult result;
+  try {
+    result = pipeline::run_pipeline(item.job, context);
+  } catch (const std::exception& e) {
+    // run_pipeline captures stage errors itself; this is the last line
+    // of defence (allocation failure and the like).
+    result.name = item.job.name.empty() ? item.job.input_path
+                                        : item.job.name;
+    result.id = id;
+    result.ok = false;
+    result.error = e.what();
+  }
+  store_.finish(id, std::move(result));
+  {
+    std::lock_guard<std::mutex> lock(flags_mutex_);
+    cancel_flags_.erase(id);
+  }
+  notify_finished();
+}
+
+ServerStats JobServer::stats() const {
+  ServerStats s;
+  s.submitted = submitted_.load();
+  s.workers = worker_count_;
+  s.solver_threads = solver_threads_;
+  s.queue = queue_.stats();
+  s.pool = session_pool_.stats();
+  s.states = store_.state_counts();
+  return s;
+}
+
+void JobServer::set_stage_observer(
+    std::function<void(std::uint64_t, pipeline::Stage)> observer) {
+  stage_observer_ = std::move(observer);
+}
+
+}  // namespace phes::server

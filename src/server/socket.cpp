@@ -1,0 +1,271 @@
+#include "phes/server/socket.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "phes/server/protocol.hpp"
+#include "phes/server/server.hpp"
+
+namespace phes::server {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path '" + path +
+                             "' is empty or too long for sockaddr_un");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+/// Write all of `data` (+ '\n') to fd; false on any failure.
+/// MSG_NOSIGNAL: a peer that disconnected before reading must produce
+/// EPIPE (this connection ends), not a process-killing SIGPIPE.
+bool write_line(int fd, const std::string& data) {
+  std::string out = data;
+  out += '\n';
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n =
+        ::send(fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Read up to the next '\n' using `carry` as the cross-call buffer.
+/// False on EOF/error before a full line arrived.
+bool read_line(int fd, std::string& carry, std::string& line) {
+  for (;;) {
+    const std::size_t nl = carry.find('\n');
+    if (nl != std::string::npos) {
+      line = carry.substr(0, nl);
+      carry.erase(0, nl + 1);
+      return true;
+    }
+    char buf[4096];
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    carry.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+// ---- SocketServer -----------------------------------------------------
+
+SocketServer::SocketServer(JobServer& server, std::string socket_path)
+    : server_(server), path_(std::move(socket_path)) {}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::start() {
+  const sockaddr_un addr = make_address(path_);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket()");
+  // A leftover socket file from a crashed server would fail the bind;
+  // probe it with a connect so a *live* server is never displaced.
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0) {
+    if (errno != EADDRINUSE) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw_errno("bind(" + path_ + ")");
+    }
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    const bool alive =
+        probe >= 0 &&
+        ::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0;
+    if (probe >= 0) ::close(probe);
+    if (alive) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw std::runtime_error("socket '" + path_ +
+                               "' already has a live server");
+    }
+    ::unlink(path_.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) < 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw_errno("bind(" + path_ + ")");
+    }
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(path_.c_str());
+    throw_errno("listen(" + path_ + ")");
+  }
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void SocketServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket closed (stop()) or fatal: exit the loop
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    reap_finished_connections();
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.push_back(std::make_unique<Connection>());
+    Connection& connection = *connections_.back();
+    connection.fd = fd;
+    connection.thread =
+        std::thread([this, &connection] { serve_connection(connection); });
+  }
+}
+
+void SocketServer::serve_connection(Connection& connection) {
+  const int fd = connection.fd;
+  std::string carry;
+  std::string line;
+  while (read_line(fd, carry, line)) {
+    const RequestOutcome outcome = handle_request(server_, line);
+    if (!write_line(fd, outcome.response)) break;
+    if (outcome.shutdown_requested) {
+      // Ack already flushed; surface the request and stop reading so
+      // the owner can tear the transport down.
+      note_shutdown(outcome.drain);
+      break;
+    }
+  }
+  // Mark done BEFORE closing: once closed, the fd number can be
+  // recycled for a new connection, and stop() must never shut a new
+  // connection's fd down through this stale record.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connection.fd = -1;
+    connection.done.store(true, std::memory_order_release);
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+void SocketServer::reap_finished_connections() {
+  std::list<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& connection : finished) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+}
+
+void SocketServer::note_shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    shutdown_requested_ = true;
+    drain_ = drain;
+  }
+  shutdown_cv_.notify_all();
+}
+
+bool SocketServer::wait_shutdown() {
+  std::unique_lock<std::mutex> lock(shutdown_mutex_);
+  shutdown_cv_.wait(lock, [&] { return shutdown_requested_; });
+  return drain_;
+}
+
+bool SocketServer::shutdown_requested() const {
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  return shutdown_requested_;
+}
+
+void SocketServer::stop() {
+  if (!started_) return;
+  const bool already = stopping_.exchange(true);
+  if (!already) {
+    // Unblock accept(): shutdown+close the listening socket.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    // Kick every live connection out of read(); done connections have
+    // already invalidated their fd (set to -1 under the lock), so a
+    // recycled descriptor number is never shut down by mistake.
+    std::list<std::unique_ptr<Connection>> remaining;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      for (const auto& connection : connections_) {
+        if (connection->fd >= 0) ::shutdown(connection->fd, SHUT_RDWR);
+      }
+      remaining.swap(connections_);
+    }
+    for (auto& connection : remaining) {
+      if (connection->thread.joinable()) connection->thread.join();
+    }
+    ::unlink(path_.c_str());
+    note_shutdown(true);  // release wait_shutdown() on local stop
+  }
+}
+
+// ---- Client -----------------------------------------------------------
+
+Client::Client(const std::string& socket_path) {
+  const sockaddr_un addr = make_address(socket_path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket()");
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("connect(" + socket_path + ")");
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string Client::request(const std::string& line) {
+  if (fd_ < 0) throw std::runtime_error("Client: not connected");
+  if (!write_line(fd_, line)) throw_errno("Client: write");
+  std::string response;
+  if (!read_line(fd_, buffer_, response)) {
+    throw std::runtime_error("Client: server closed the connection");
+  }
+  return response;
+}
+
+std::string round_trip(const std::string& socket_path,
+                       const std::string& line) {
+  Client client(socket_path);
+  return client.request(line);
+}
+
+}  // namespace phes::server

@@ -28,15 +28,11 @@ using engine::SolverSession;
 using la::Complex;
 using macromodel::SimoRealization;
 
+// Shared seeded-model fixture (tests/test_support.hpp).
 macromodel::PoleResidueModel make_model(double peak, std::uint64_t seed,
                                         std::size_t states = 36,
                                         std::size_t ports = 3) {
-  macromodel::SyntheticModelSpec spec;
-  spec.ports = ports;
-  spec.states = states;
-  spec.target_peak_gain = peak;
-  spec.seed = seed;
-  return macromodel::make_synthetic_model(spec);
+  return test::synthetic_model(peak, seed, states, ports);
 }
 
 ShiftFactorizationCache::OpPtr build_op(const SimoRealization& simo,

@@ -11,31 +11,19 @@
 #include <vector>
 
 #include "phes/io/touchstone.hpp"
-#include "phes/macromodel/generator.hpp"
 #include "phes/macromodel/samples.hpp"
 #include "phes/macromodel/samples_io.hpp"
 #include "phes/pipeline/batch.hpp"
 #include "phes/pipeline/job.hpp"
 #include "phes/pipeline/report.hpp"
+#include "test_support.hpp"
 
 namespace phes {
 namespace {
 
 using pipeline::PipelineJob;
 using pipeline::Stage;
-
-/// Samples of a deliberately non-passive synthetic scattering model.
-macromodel::FrequencySamples non_passive_samples(std::uint64_t seed) {
-  macromodel::SyntheticModelSpec spec;
-  spec.ports = 2;
-  spec.states = 24;
-  spec.omega_min = 1.0;
-  spec.omega_max = 20.0;
-  spec.target_peak_gain = 1.05;  // > 1: unit-singular-value crossings
-  spec.seed = seed;
-  const auto model = macromodel::make_synthetic_model(spec);
-  return sample_model(model, 0.3, 60.0, 160);
-}
+using test::non_passive_samples;
 
 PipelineJob make_job(macromodel::FrequencySamples samples) {
   PipelineJob job;
@@ -268,18 +256,52 @@ TEST(Pipeline, SummaryTableHasCacheColumn) {
 }
 
 TEST(Pipeline, AlreadyPassiveModelSkipsEnforcement) {
-  macromodel::SyntheticModelSpec spec;
-  spec.ports = 2;
-  spec.states = 20;
-  spec.target_peak_gain = 0.9;  // safely passive
-  spec.seed = 21;
-  const auto model = macromodel::make_synthetic_model(spec);
-  auto job = make_job(sample_model(model, 0.3, 40.0, 140));
+  auto job = make_job(test::passive_samples(21));
   const auto result = run_pipeline(job);
   ASSERT_TRUE(result.ok) << result.error;
   EXPECT_EQ(result.status(), "passive");
   EXPECT_FALSE(result.enforcement_run);
   EXPECT_TRUE(result.certified_passive);
+}
+
+TEST(Pipeline, CancellationStopsAtStageBoundary) {
+  auto job = make_job(non_passive_samples(7));
+  std::atomic<bool> cancel{false};
+  pipeline::PipelineContext context;
+  context.cancel = &cancel;
+  std::vector<Stage> started;
+  context.on_stage_start = [&](Stage stage) {
+    started.push_back(stage);
+    if (stage == Stage::kFit) cancel.store(true);
+  };
+  const auto result = run_pipeline(job, context);
+
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_EQ(result.failed_stage, Stage::kRealize);
+  EXPECT_EQ(result.status(), "cancelled@realize");
+  ASSERT_EQ(started.size(), 2u);  // load + fit ran, realize never started
+  EXPECT_EQ(result.stage_timings.size(), 2u);
+  EXPECT_NE(result.error.find("cancelled"), std::string::npos);
+}
+
+TEST(Pipeline, PreCancelledJobRunsNothing) {
+  auto job = make_job(non_passive_samples(7));
+  std::atomic<bool> cancel{true};
+  pipeline::PipelineContext context;
+  context.cancel = &cancel;
+  const auto result = run_pipeline(job, context);
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_EQ(result.status(), "cancelled@load");
+  EXPECT_TRUE(result.stage_timings.empty());
+}
+
+TEST(Pipeline, JobIdIsCarriedOntoTheResult) {
+  auto job = make_job(non_passive_samples(7));
+  job.id = 42;
+  job.options.stop_after = Stage::kFit;
+  const auto result = run_pipeline(job);
+  EXPECT_EQ(result.id, 42u);
 }
 
 }  // namespace

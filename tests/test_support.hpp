@@ -1,13 +1,20 @@
 #pragma once
-// Shared helpers for the PHES test suite.
+// Shared helpers for the PHES test suite: random matrices, spectrum
+// comparison, and the seeded synthetic-model fixtures used by the
+// engine/pipeline/server tests and the session-reuse bench.
 
 #include <algorithm>
 #include <complex>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "phes/la/blas.hpp"
 #include "phes/la/matrix.hpp"
 #include "phes/la/types.hpp"
+#include "phes/macromodel/generator.hpp"
+#include "phes/macromodel/pole_residue.hpp"
+#include "phes/macromodel/samples.hpp"
 #include "phes/util/rng.hpp"
 
 namespace phes::test {
@@ -93,6 +100,71 @@ inline bool frequencies_match(const RealVector& a, const RealVector& b,
     if (std::abs(a[i] - b[i]) > tol) return false;
   }
   return true;
+}
+
+// ---- Seeded model fixtures --------------------------------------------
+// One source of truth for the synthetic models the engine, pipeline,
+// server, and bench suites exercise; seeds select reproducible model
+// instances, peak gain selects passive (< 1) vs violating (> 1).
+
+/// Seeded synthetic pole-residue model with the given peak gain.
+inline macromodel::PoleResidueModel synthetic_model(double peak_gain,
+                                                    std::uint64_t seed,
+                                                    std::size_t states = 36,
+                                                    std::size_t ports = 3) {
+  macromodel::SyntheticModelSpec spec;
+  spec.ports = ports;
+  spec.states = states;
+  spec.target_peak_gain = peak_gain;
+  spec.seed = seed;
+  return macromodel::make_synthetic_model(spec);
+}
+
+/// Samples of a deliberately non-passive 2-port scattering model (unit
+/// singular-value crossings guaranteed by peak gain 1.05).
+inline macromodel::FrequencySamples non_passive_samples(
+    std::uint64_t seed, std::size_t states = 24) {
+  macromodel::SyntheticModelSpec spec;
+  spec.ports = 2;
+  spec.states = states;
+  spec.omega_min = 1.0;
+  spec.omega_max = 20.0;
+  spec.target_peak_gain = 1.05;
+  spec.seed = seed;
+  const auto model = macromodel::make_synthetic_model(spec);
+  return sample_model(model, 0.3, 60.0, 160);
+}
+
+/// Samples of a safely passive 2-port model (peak gain 0.9).
+inline macromodel::FrequencySamples passive_samples(std::uint64_t seed,
+                                                    std::size_t states = 20) {
+  macromodel::SyntheticModelSpec spec;
+  spec.ports = 2;
+  spec.states = states;
+  spec.target_peak_gain = 0.9;
+  spec.seed = seed;
+  const auto model = macromodel::make_synthetic_model(spec);
+  return sample_model(model, 0.3, 40.0, 140);
+}
+
+/// Small sampled p-port model for Touchstone round-trip tests.
+inline macromodel::FrequencySamples sampled_synthetic(std::size_t ports) {
+  macromodel::SyntheticModelSpec spec;
+  spec.ports = ports;
+  spec.states = 6 * ports;
+  spec.seed = 17;
+  const auto model = macromodel::make_synthetic_model(spec);
+  return sample_model(model, 0.5, 20.0, 12);
+}
+
+/// Path of a committed golden fixture (tests/data); PHES_TEST_DATA_DIR
+/// is injected by CMake so tests run from any build directory.
+inline std::string fixture_path(const std::string& name) {
+#ifdef PHES_TEST_DATA_DIR
+  return std::string(PHES_TEST_DATA_DIR) + "/" + name;
+#else
+  return "tests/data/" + name;
+#endif
 }
 
 }  // namespace phes::test

@@ -20,14 +20,11 @@ using io::load_touchstone;
 using io::save_touchstone;
 using io::TouchstoneFormat;
 using io::TouchstoneMetadata;
+using test::sampled_synthetic;
 
+// Shared seeded-sample fixture (tests/test_support.hpp).
 macromodel::FrequencySamples make_samples(std::size_t ports) {
-  macromodel::SyntheticModelSpec spec;
-  spec.ports = ports;
-  spec.states = 6 * ports;
-  spec.seed = 17;
-  const auto model = macromodel::make_synthetic_model(spec);
-  return sample_model(model, 0.5, 20.0, 12);
+  return sampled_synthetic(ports);
 }
 
 double round_trip_error(std::size_t ports, TouchstoneFormat format,
@@ -238,6 +235,51 @@ TEST(Touchstone, FileRoundTripAndExtensionChecks) {
       std::invalid_argument);
   EXPECT_THROW((void)io::load_touchstone_file("/nonexistent/x.s2p"),
                std::runtime_error);
+}
+
+// ---- Golden fixture directory (tests/data) ----------------------------
+// Committed .s2p/.s4p exports; the server integration test feeds the
+// same files through the job server, so a reader regression shows up in
+// both suites.
+
+TEST(Touchstone, GoldenS2pLoadsAndRoundTrips) {
+  const auto data = io::load_touchstone_file(test::fixture_path("golden.s2p"));
+  EXPECT_EQ(data.samples.ports(), 2u);
+  EXPECT_EQ(data.samples.count(), 200u);
+  EXPECT_EQ(data.metadata.format, TouchstoneFormat::kRI);
+  EXPECT_EQ(data.metadata.unit, "GHz");
+  ASSERT_GT(data.samples.omega.size(), 1u);
+  EXPECT_LT(data.samples.omega.front(), data.samples.omega.back());
+
+  // Save -> reload must reproduce the loaded data essentially exactly
+  // (one text round trip of already-text-rounded values).
+  std::stringstream ss;
+  save_touchstone(data.samples, ss, data.metadata);
+  const auto reloaded = load_touchstone(ss, 2);
+  ASSERT_EQ(reloaded.samples.count(), data.samples.count());
+  for (std::size_t k = 0; k < data.samples.count(); ++k) {
+    EXPECT_NEAR(reloaded.samples.omega[k], data.samples.omega[k],
+                1e-9 * data.samples.omega[k]);
+    EXPECT_LT(test::max_abs_diff(reloaded.samples.h[k], data.samples.h[k]),
+              1e-12);
+  }
+}
+
+TEST(Touchstone, GoldenS4pLoadsAndRoundTrips) {
+  const auto data = io::load_touchstone_file(test::fixture_path("golden.s4p"));
+  EXPECT_EQ(data.samples.ports(), 4u);
+  EXPECT_EQ(data.samples.count(), 60u);
+  EXPECT_EQ(data.metadata.format, TouchstoneFormat::kMA);
+  EXPECT_EQ(data.metadata.unit, "MHz");
+
+  std::stringstream ss;
+  save_touchstone(data.samples, ss, data.metadata);
+  const auto reloaded = load_touchstone(ss, 4);
+  ASSERT_EQ(reloaded.samples.count(), data.samples.count());
+  for (std::size_t k = 0; k < data.samples.count(); ++k) {
+    EXPECT_LT(test::max_abs_diff(reloaded.samples.h[k], data.samples.h[k]),
+              1e-12);
+  }
 }
 
 TEST(Touchstone, SaveRejectsUnknownUnit) {
