@@ -12,15 +12,24 @@
 //       passive and non-passive models, varying ports/order/format)
 //       into <dir> so `batch` has something to chew on.
 //   phes_pipeline serve <socket> [flags]
-//       Long-lived job server on an AF_UNIX socket: bounded queue with
-//       backpressure, persistent workers, cross-job session pool keyed
-//       by model hash, result store.  Runs until a client sends the
-//       shutdown op (or SIGINT/SIGTERM, which drains gracefully).
-//   phes_pipeline client <socket> <op> [args]
+//       Long-lived job server: bounded queue with backpressure,
+//       persistent workers, cross-job session pool keyed by model hash,
+//       result store.  Listens on the AF_UNIX socket, plus a TCP
+//       endpoint with `--tcp HOST:PORT --auth-token-file FILE` (remote
+//       clients authenticate with the shared token).  All connections
+//       are served by one epoll event loop.  Runs until a client sends
+//       the shutdown op (or SIGINT/SIGTERM, which drains gracefully).
+//   phes_pipeline client <endpoint> <op> [args]
 //       Scripting client; prints the server's JSON response line.
-//         submit <file> [job flags]     status [id]     result <id>
-//         cancel <id>                   stats           ping
+//       <endpoint> is a socket path or tcp:HOST:PORT (the latter with
+//       --auth-token-file FILE).
+//         submit <file> [--inline] [job flags]
+//         status [id]     result <id>     cancel <id>
+//         stats           ping
 //         wait <id> [--timeout s]       shutdown [--no-drain]
+//       `submit --inline` sends the file's contents in the request
+//       payload (submit_inline op) — the server needs no access to the
+//       client's filesystem.
 //
 // Flags:
 //   --poles <n>          VF poles per column            (default 12)
@@ -33,13 +42,17 @@
 //   --summary-csv <path>  write the one-row-per-job CSV summary
 //   --no-warm-start      disable session warm starts (cold re-solves)
 //   --verbose            per-stage timing breakdown per job
-// serve-only flags:
+// serve/batch flags (the batch runner shares sessions the same way):
 //   --queue <n>          queue capacity / backpressure bound (default 64)
 //   --no-share-sessions  one private session per job (no cross-job pool)
 //   --pool-sessions <n>  idle sessions kept per the pool (default 16)
 //   --pool-mb <n>        idle session memory budget in MiB (default 256)
+//   --tcp <host:port>    additional TCP listener (serve only)
+//   --auth-token-file <f> shared token for the TCP auth handshake
 //
 // Exit status: 0 when every job succeeded, 1 when any failed, 2 usage.
+// `client wait` distinguishes outcomes: 0 done, 1 failed, 3 cancelled,
+// 4 timeout.
 
 #include <csignal>
 #include <algorithm>
@@ -48,9 +61,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "phes/io/touchstone.hpp"
@@ -62,6 +80,7 @@
 #include "phes/server/protocol.hpp"
 #include "phes/server/server.hpp"
 #include "phes/server/socket.hpp"
+#include "phes/server/transport.hpp"
 
 namespace {
 
@@ -79,9 +98,12 @@ struct CliOptions {
   bool share_sessions = true;
   std::size_t pool_sessions = 16;
   std::size_t pool_mb = 256;
+  std::string tcp_endpoint;      ///< "HOST:PORT"; empty => no TCP listener
+  std::string auth_token_file;   ///< shared token for the TCP handshake
   // client-only
   double timeout_seconds = 0.0;
   bool drain = true;
+  bool inline_submit = false;  ///< submit the file's contents, not path
   // Which job flags were explicitly passed: a client submit sends only
   // those, so the rest fall back to the serve-side job defaults.
   bool poles_set = false;
@@ -96,19 +118,47 @@ int usage() {
                "  phes_pipeline run <file> [flags]\n"
                "  phes_pipeline batch <dir> [flags]\n"
                "  phes_pipeline gen <dir> [count]\n"
-               "  phes_pipeline serve <socket> [flags]\n"
-               "  phes_pipeline client <socket> submit <file> [flags]\n"
-               "  phes_pipeline client <socket> "
+               "  phes_pipeline serve <socket> [--tcp HOST:PORT "
+               "--auth-token-file FILE] [flags]\n"
+               "  phes_pipeline client <endpoint> submit <file> "
+               "[--inline] [flags]\n"
+               "  phes_pipeline client <endpoint> "
                "status|result|cancel|wait [id]\n"
-               "  phes_pipeline client <socket> stats|ping|shutdown\n"
+               "  phes_pipeline client <endpoint> stats|ping|shutdown\n"
+               "  (<endpoint> = socket path | tcp:HOST:PORT)\n"
                "flags: --poles N --vf-iters N --threads N --jobs N\n"
                "       --solver-threads N --stop-after STAGE\n"
                "       --summary-json PATH --summary-csv PATH\n"
                "       --no-warm-start --verbose\n"
-               "serve: --queue N --no-share-sessions --pool-sessions N\n"
-               "       --pool-mb N\n"
-               "client: --timeout SECONDS (wait), --no-drain (shutdown)\n");
+               "serve/batch: --queue N --no-share-sessions "
+               "--pool-sessions N\n"
+               "       --pool-mb N --tcp HOST:PORT --auth-token-file "
+               "FILE\n"
+               "client: --timeout SECONDS (wait), --no-drain (shutdown),\n"
+               "        --inline (submit), --auth-token-file FILE (tcp)\n"
+               "wait exit codes: 0 done, 1 failed, 3 cancelled, "
+               "4 timeout\n");
   return 2;
+}
+
+/// First line of `path`, trailing whitespace stripped — the shared
+/// auth token.  Throws when the file cannot be read or is empty.
+std::string read_token_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot read token file '" + path + "'");
+  }
+  std::string token;
+  std::getline(in, token);
+  while (!token.empty() &&
+         (token.back() == '\r' || token.back() == ' ' ||
+          token.back() == '\t')) {
+    token.pop_back();
+  }
+  if (token.empty()) {
+    throw std::runtime_error("token file '" + path + "' is empty");
+  }
+  return token;
 }
 
 std::size_t parse_count(const char* text, const char* flag) {
@@ -164,6 +214,12 @@ CliOptions parse_flags(int argc, char** argv, int first) {
       cli.pool_sessions = parse_count(value(), "--pool-sessions");
     } else if (flag == "--pool-mb") {
       cli.pool_mb = parse_count(value(), "--pool-mb");
+    } else if (flag == "--tcp") {
+      cli.tcp_endpoint = value();
+    } else if (flag == "--auth-token-file") {
+      cli.auth_token_file = value();
+    } else if (flag == "--inline") {
+      cli.inline_submit = true;
     } else if (flag == "--timeout") {
       const char* text = value();
       char* end = nullptr;
@@ -221,16 +277,33 @@ int run_batch(std::vector<pipeline::PipelineJob> jobs,
               const CliOptions& cli) {
   for (auto& job : jobs) job.options = cli.job;
 
-  const pipeline::BatchRunner runner(cli.batch);
-  const auto plan = runner.plan_for(jobs.size());
-  std::printf("running %zu job(s): %zu concurrent x %zu solver thread(s)\n",
-              jobs.size(), plan.job_workers, plan.solver_threads);
+  pipeline::BatchOptions batch = cli.batch;
+  // --no-warm-start jobs bypass the pool (a pooled session could hand
+  // them another job's hot cache), so report the batch as unpooled
+  // rather than printing an all-zero pool footer.
+  batch.share_sessions =
+      cli.share_sessions && cli.job.session.warm_start;
+  batch.pool.max_idle_sessions = cli.pool_sessions;
+  batch.pool.memory_budget_bytes = cli.pool_mb << 20;
+  // Pooled sessions are configured at pool level: session flags must
+  // reach them through the pool's session options.
+  batch.pool.session = cli.job.session;
 
-  const auto results = runner.run(std::move(jobs));
+  const pipeline::BatchRunner runner(batch);
+  const auto plan = runner.plan_for(jobs.size());
+  std::printf("running %zu job(s): %zu concurrent x %zu solver thread(s), "
+              "sessions %s\n",
+              jobs.size(), plan.job_workers, plan.solver_threads,
+              batch.share_sessions ? "pooled" : "private");
+
+  const auto outcome = runner.run_all(std::move(jobs));
+  const auto& results = outcome.results;
   for (const auto& r : results) print_job_detail(r, cli.verbose);
 
   std::printf("\n");
-  pipeline::summary_table(results).print(std::cout);
+  pipeline::summary_table(results,
+                          batch.share_sessions ? &outcome.pool : nullptr)
+      .print(std::cout);
   if (!cli.summary_json.empty()) {
     pipeline::write_summary_json_file(results, cli.summary_json);
     std::printf("wrote JSON summary to %s\n", cli.summary_json.c_str());
@@ -300,16 +373,37 @@ int cmd_serve(const std::string& socket_path, const CliOptions& cli) {
   options.job_defaults = cli.job;
 
   server::JobServer server(options);
-  server::SocketServer transport(server, socket_path);
+
+  std::vector<std::unique_ptr<server::Transport>> transports;
+  transports.push_back(
+      std::make_unique<server::UnixTransport>(socket_path));
+  if (!cli.tcp_endpoint.empty()) {
+    const server::Endpoint tcp =
+        server::parse_endpoint("tcp:" + cli.tcp_endpoint);
+    if (cli.auth_token_file.empty()) {
+      std::fprintf(stderr,
+                   "error: --tcp requires --auth-token-file (refusing an "
+                   "unauthenticated remote listener)\n");
+      return 2;
+    }
+    transports.push_back(std::make_unique<server::TcpTransport>(
+        tcp.host, tcp.port, read_token_file(cli.auth_token_file)));
+  }
+  server::TransportServer transport(server, std::move(transports));
   transport.start();
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
 
   const auto stats = server.stats();
+  std::string endpoints;
+  for (const auto& t : transport.transports()) {
+    endpoints += endpoints.empty() ? "" : ", ";
+    endpoints += t->endpoint();
+  }
   std::printf("phes_pipeline serving on %s (%zu worker(s) x %zu solver "
               "thread(s), queue %zu, sessions %s)\n",
-              socket_path.c_str(), stats.workers, stats.solver_threads,
+              endpoints.c_str(), stats.workers, stats.solver_threads,
               cli.queue_capacity, cli.share_sessions ? "pooled" : "private");
   std::fflush(stdout);
 
@@ -336,35 +430,68 @@ int cmd_serve(const std::string& socket_path, const CliOptions& cli) {
   return 0;
 }
 
-int cmd_client(const std::string& socket_path, const std::string& op,
+/// Distinct `client wait` exit codes so scripts can branch on the job
+/// outcome (2 stays the usage error).
+constexpr int kWaitDone = 0;
+constexpr int kWaitFailed = 1;
+constexpr int kWaitCancelled = 3;
+constexpr int kWaitTimeout = 4;
+
+/// Only flags the user passed go on the wire; everything else falls
+/// back to the serve-side job defaults.
+std::string options_json_from(const CliOptions& cli) {
+  std::string options_json;
+  const auto add = [&options_json](const std::string& field) {
+    options_json += options_json.empty() ? "" : ", ";
+    options_json += field;
+  };
+  if (cli.poles_set) {
+    add("\"poles\": " + std::to_string(cli.job.fit.num_poles));
+  }
+  if (cli.vf_iters_set) {
+    add("\"vf_iters\": " + std::to_string(cli.job.fit.iterations));
+  }
+  if (cli.warm_start_set) {
+    add(std::string("\"warm_start\": ") +
+        (cli.job.session.warm_start ? "true" : "false"));
+  }
+  if (cli.stop_after_set) {
+    add("\"stop_after\": \"" +
+        std::string(pipeline::stage_name(cli.job.stop_after)) + "\"");
+  }
+  return options_json;
+}
+
+int cmd_client(const std::string& endpoint_spec, const std::string& op,
                const char* id_or_file, const CliOptions& cli) {
+  server::Endpoint endpoint = server::parse_endpoint(endpoint_spec);
+  if (!cli.auth_token_file.empty()) {
+    endpoint.token = read_token_file(cli.auth_token_file);
+  }
+
   std::string request;
   if (op == "submit") {
     if (id_or_file == nullptr) return usage();
-    const std::string path =
-        fs::absolute(fs::path(id_or_file)).string();
-    // Only flags the user passed go on the wire; everything else falls
-    // back to the serve-side job defaults.
-    std::string options_json;
-    const auto add = [&options_json](const std::string& field) {
-      options_json += options_json.empty() ? "" : ", ";
-      options_json += field;
-    };
-    if (cli.poles_set) {
-      add("\"poles\": " + std::to_string(cli.job.fit.num_poles));
+    const std::string options_json = options_json_from(cli);
+    if (cli.inline_submit) {
+      // Ship the file's bytes: the server needs no shared filesystem.
+      std::ifstream in(id_or_file, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "error: cannot read '%s'\n", id_or_file);
+        return 2;
+      }
+      std::ostringstream contents;
+      contents << in.rdbuf();
+      const std::string filename =
+          fs::path(id_or_file).filename().string();
+      request = "{\"op\": \"submit_inline\", \"filename\": " +
+                server::json_quote(filename) +
+                ", \"payload\": " + server::json_quote(contents.str());
+    } else {
+      const std::string path = fs::absolute(fs::path(id_or_file)).string();
+      request =
+          "{\"op\": \"submit\", \"path\": " + server::json_quote(path);
     }
-    if (cli.vf_iters_set) {
-      add("\"vf_iters\": " + std::to_string(cli.job.fit.iterations));
-    }
-    if (cli.warm_start_set) {
-      add(std::string("\"warm_start\": ") +
-          (cli.job.session.warm_start ? "true" : "false"));
-    }
-    if (cli.stop_after_set) {
-      add("\"stop_after\": \"" +
-          std::string(pipeline::stage_name(cli.job.stop_after)) + "\"");
-    }
-    request = "{\"op\": \"submit\", \"path\": " + server::json_quote(path);
     if (!options_json.empty()) {
       request += ", \"options\": {" + options_json + "}";
     }
@@ -392,7 +519,7 @@ int cmd_client(const std::string& socket_path, const std::string& op,
 
   if (op == "wait") {
     // Poll status until the job is terminal (or the timeout runs out).
-    server::Client client(socket_path);
+    server::Client client(endpoint);
     const auto start = std::chrono::steady_clock::now();
     for (;;) {
       const std::string response = client.request(request);
@@ -400,12 +527,13 @@ int cmd_client(const std::string& socket_path, const std::string& op,
       const server::JsonValue* job = json.find("job");
       if (job == nullptr) {  // error response (unknown id)
         std::printf("%s\n", response.c_str());
-        return 1;
+        return kWaitFailed;
       }
       const std::string state = job->string_or("state", "");
       if (state == "done" || state == "failed" || state == "cancelled") {
         std::printf("%s\n", response.c_str());
-        return state == "done" ? 0 : 1;
+        if (state == "done") return kWaitDone;
+        return state == "cancelled" ? kWaitCancelled : kWaitFailed;
       }
       const double elapsed =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -414,13 +542,13 @@ int cmd_client(const std::string& socket_path, const std::string& op,
       if (cli.timeout_seconds > 0.0 && elapsed > cli.timeout_seconds) {
         std::fprintf(stderr, "error: timed out after %.0f s (state %s)\n",
                      cli.timeout_seconds, state.c_str());
-        return 1;
+        return kWaitTimeout;
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }
   }
 
-  const std::string response = server::round_trip(socket_path, request);
+  const std::string response = server::round_trip(endpoint, request);
   std::printf("%s\n", response.c_str());
   // Scripting-friendly exit status: "ok": false => 1.
   return response.find("\"ok\": true") != std::string::npos ? 0 : 1;

@@ -61,12 +61,31 @@ struct JobOptions {
   Stage stop_after = Stage::kVerify;
 };
 
+/// Format of a PipelineJob's in-memory text input.
+enum class InputFormat {
+  /// Touchstone when `input_ports` > 0, phes-samples text otherwise.
+  kAuto = 0,
+  kTouchstone,
+  kSamples,
+};
+
 /// One pipeline invocation: a named input plus its options.  The input
-/// is either a file path (Touchstone ".sNp" or phes-samples text,
-/// dispatched on extension) or in-memory samples.
+/// is one of, in dispatch order:
+///   - `input_text`: in-memory file contents (inline submission over
+///     the job-server protocol) parsed by the load stage — Touchstone
+///     needs `input_ports` since there is no ".sNp" extension to read
+///     a port count from;
+///   - `input_path`: a file (Touchstone ".sNp" or phes-samples text,
+///     dispatched on extension);
+///   - `samples`: already-parsed samples.
 struct PipelineJob {
   std::string name;        ///< label for reports (defaults to the path)
-  std::string input_path;  ///< empty => use `samples`
+  std::string input_path;  ///< empty => use `input_text` / `samples`
+  /// In-memory input: when non-empty, the load stage parses this text
+  /// instead of touching the filesystem.
+  std::string input_text;
+  InputFormat input_format = InputFormat::kAuto;
+  std::size_t input_ports = 0;  ///< Touchstone text port count
   macromodel::FrequencySamples samples;
   JobOptions options{};
   /// Caller-assigned identifier, carried onto the result verbatim (the
@@ -130,6 +149,14 @@ struct PipelineResult {
 /// parsed as Touchstone, anything else as the phes-samples text format.
 [[nodiscard]] macromodel::FrequencySamples load_input(
     const std::string& path);
+
+/// Parse in-memory file contents through the same readers the path
+/// route uses (io::load_touchstone / macromodel::load_samples), so an
+/// inline submission of a file's bytes yields bit-identical samples.
+/// Touchstone requires `ports` >= 1.  Throws std::runtime_error on
+/// parse errors (with the readers' line numbers).
+[[nodiscard]] macromodel::FrequencySamples parse_input_text(
+    const std::string& text, InputFormat format, std::size_t ports);
 
 /// Per-run hooks a host (batch runner, job server) threads through the
 /// stage machine.  Default-constructed, run_pipeline behaves exactly as

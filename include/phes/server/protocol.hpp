@@ -4,9 +4,17 @@
 // One request object per line, one response object per line.  Ops:
 //
 //   {"op":"ping"}
+//   {"op":"auth","token":"..."}   (first line on a TCP connection;
+//                                  accepted as a no-op elsewhere)
 //   {"op":"submit","path":"m.s2p","name":"m",
 //    "options":{"poles":12,"vf_iters":12,"stop_after":"verify",
 //               "warm_start":true}}
+//   {"op":"submit_inline","payload":"<file contents>","ports":2,
+//    "format":"touchstone","filename":"m.s2p","name":"m",
+//    "options":{...}}             (no shared filesystem needed; the
+//                                  payload is parsed by the job's load
+//                                  stage via io::load_touchstone /
+//                                  macromodel::load_samples)
 //   {"op":"status","id":7}      or {"op":"status"} for all jobs
 //   {"op":"result","id":7}
 //   {"op":"cancel","id":7}

@@ -1,96 +1,47 @@
 #pragma once
-// Local-socket transport for the NDJSON protocol (POSIX AF_UNIX).
+// Client side of the NDJSON protocol — a blocking connector over either
+// transport (server side: server/transport.hpp).
 //
-// SocketServer binds a filesystem socket, accepts connections on a
-// dedicated thread, and serves each connection on its own thread: read
-// one request line, run it through handle_request, write one response
-// line, repeat until the peer disconnects.  A client's shutdown op is
-// acknowledged on its connection first, then surfaced through
-// wait_shutdown() so the owner (the `serve` subcommand, a test) can
-// stop the JobServer and this transport in order.
+// An Endpoint names where the server listens:
+//   "/tmp/phes.sock"        AF_UNIX filesystem socket
+//   "tcp:HOST:PORT"         TCP listener (HOST numeric or resolvable)
+// TCP endpoints carry the shared auth token; Client performs the
+// {"op":"auth"} handshake on connect and throws when the server
+// refuses it.
 //
-// Client is the matching blocking connector: request() sends one line
-// and returns one response line; connections are persistent, so a
-// client can issue many requests.
-//
-// Scale note: thread-per-connection is right for the local-operator /
-// test workloads this PR targets; a remote transport with an event
-// loop is a ROADMAP follow-up.
+// Client::request() sends one line and returns one response line;
+// connections are persistent, so a client can issue many requests.
 
-#include <atomic>
-#include <condition_variable>
-#include <list>
-#include <memory>
-#include <mutex>
+#include <cstdint>
 #include <string>
-#include <thread>
 
 namespace phes::server {
 
-class JobServer;
-
-class SocketServer {
- public:
-  /// Prepares (but does not bind) a server for `socket_path`.  The path
-  /// must fit a sockaddr_un and must not be in use; a stale socket file
-  /// from a dead process is replaced.
-  SocketServer(JobServer& server, std::string socket_path);
-  ~SocketServer();
-
-  SocketServer(const SocketServer&) = delete;
-  SocketServer& operator=(const SocketServer&) = delete;
-
-  /// Bind + listen + start accepting.  Throws std::runtime_error on
-  /// socket failures.
-  void start();
-
-  /// Stop accepting, close every live connection, join all transport
-  /// threads, remove the socket file.  Idempotent.
-  void stop();
-
-  /// Block until a client requests shutdown (or stop() is called).
-  /// Returns the requested drain mode (true when stopped locally).
-  bool wait_shutdown();
-
-  [[nodiscard]] bool shutdown_requested() const;
-  [[nodiscard]] const std::string& path() const noexcept { return path_; }
-
- private:
-  struct Connection {
-    int fd = -1;
-    std::thread thread;
-    std::atomic<bool> done{false};
-  };
-
-  void accept_loop();
-  void serve_connection(Connection& connection);
-  void note_shutdown(bool drain);
-  /// Join connections whose threads have finished (accept_loop calls
-  /// this per accept so a long-lived server does not accumulate one
-  /// zombie thread per past client).
-  void reap_finished_connections();
-
-  JobServer& server_;
-  std::string path_;
-  int listen_fd_ = -1;
-  std::atomic<bool> stopping_{false};
-  bool started_ = false;
-
-  std::thread accept_thread_;
-  std::mutex connections_mutex_;
-  std::list<std::unique_ptr<Connection>> connections_;
-
-  mutable std::mutex shutdown_mutex_;
-  std::condition_variable shutdown_cv_;
-  bool shutdown_requested_ = false;
-  bool drain_ = true;
+/// A parsed server address plus the TCP auth token.
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;  ///< AF_UNIX socket path
+  std::string host;  ///< TCP host
+  std::uint16_t port = 0;
+  /// Shared secret for the TCP auth handshake (empty => no auth op is
+  /// sent; the server will refuse if it requires one).
+  std::string token;
 };
 
-/// Blocking NDJSON client over a persistent AF_UNIX connection.
+/// Parse "tcp:HOST:PORT" into a TCP endpoint; anything else is an
+/// AF_UNIX path.  Throws std::invalid_argument on a malformed TCP spec.
+[[nodiscard]] Endpoint parse_endpoint(const std::string& spec);
+
+/// Blocking NDJSON client over a persistent connection.
 class Client {
  public:
-  /// Connects immediately; throws std::runtime_error on failure.
+  /// AF_UNIX convenience; connects immediately, throws on failure.
   explicit Client(const std::string& socket_path);
+  /// Connect to either transport; performs the auth handshake on a TCP
+  /// endpoint with a token.  Throws std::runtime_error on connect or
+  /// auth failure.
+  explicit Client(const Endpoint& endpoint);
   ~Client();
 
   Client(const Client&) = delete;
@@ -105,7 +56,10 @@ class Client {
   std::string buffer_;  ///< bytes read past the last returned line
 };
 
-/// One-shot convenience: connect, send `line`, return the response.
+/// One-shot convenience: connect (+auth), send `line`, return the
+/// response.
+[[nodiscard]] std::string round_trip(const Endpoint& endpoint,
+                                     const std::string& line);
 [[nodiscard]] std::string round_trip(const std::string& socket_path,
                                      const std::string& line);
 

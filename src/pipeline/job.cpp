@@ -1,6 +1,7 @@
 #include "phes/pipeline/job.hpp"
 
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -59,6 +60,22 @@ macromodel::FrequencySamples load_input(const std::string& path) {
     return io::load_touchstone_file(path).samples;
   }
   return macromodel::load_samples_file(path);
+}
+
+macromodel::FrequencySamples parse_input_text(const std::string& text,
+                                              InputFormat format,
+                                              std::size_t ports) {
+  if (format == InputFormat::kAuto) {
+    format = ports > 0 ? InputFormat::kTouchstone : InputFormat::kSamples;
+  }
+  std::istringstream is(text);
+  if (format == InputFormat::kTouchstone) {
+    util::require(ports > 0,
+                  "inline Touchstone input needs a port count (no file "
+                  "extension to infer it from)");
+    return io::load_touchstone(is, ports).samples;
+  }
+  return macromodel::load_samples(is);
 }
 
 PipelineResult run_pipeline(const PipelineJob& job) {
@@ -137,8 +154,11 @@ PipelineResult run_pipeline(const PipelineJob& job,
 
   // -- load ------------------------------------------------------------
   if (!run_stage(Stage::kLoad, [&] {
-        samples = job.input_path.empty() ? job.samples
-                                         : load_input(job.input_path);
+        samples = !job.input_text.empty()
+                      ? parse_input_text(job.input_text, job.input_format,
+                                         job.input_ports)
+                  : !job.input_path.empty() ? load_input(job.input_path)
+                                            : job.samples;
         samples.check_consistency();
         util::require(samples.count() > 0, "no frequency samples");
         result.sample_count = samples.count();

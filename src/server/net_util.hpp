@@ -1,0 +1,32 @@
+#pragma once
+// Server-internal POSIX socket helpers shared by the client connector
+// (socket.cpp) and the transport layer (transport.cpp).  Not installed:
+// public headers stay free of <sys/un.h>.
+
+#include <sys/un.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace phes::server::detail {
+
+[[noreturn]] inline void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Validated sockaddr_un for `path`; throws when the path is empty or
+/// too long to fit.
+inline sockaddr_un make_unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path '" + path +
+                             "' is empty or too long for sockaddr_un");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace phes::server::detail

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "phes/io/touchstone.hpp"
 #include "phes/pipeline/report.hpp"
 #include "phes/server/server.hpp"
 
@@ -303,6 +304,30 @@ std::string record_json(const ResultStore::JobSummary& record) {
   return os.str() + "}";
 }
 
+/// Apply a request's "options" object over the serve-side defaults —
+/// shared by the path and inline submission ops.
+pipeline::JobOptions job_options_from(const JobServer& server,
+                                      const JsonValue& request) {
+  pipeline::JobOptions result = server.options().job_defaults;
+  if (const JsonValue* options = request.find("options")) {
+    result.fit.num_poles = static_cast<std::size_t>(
+        options->uint_or("poles", result.fit.num_poles));
+    result.fit.iterations = static_cast<std::size_t>(
+        options->uint_or("vf_iters", result.fit.iterations));
+    result.session.warm_start =
+        options->bool_or("warm_start", result.session.warm_start);
+    if (const JsonValue* stop = options->find("stop_after")) {
+      result.stop_after = pipeline::parse_stage(stop->as_string());
+    }
+  }
+  return result;
+}
+
+std::string submit_ack(const char* op, std::uint64_t id) {
+  return std::string("{\"ok\": true, \"op\": \"") + op +
+         "\", \"id\": " + std::to_string(id) + "}";
+}
+
 std::string handle_submit(JobServer& server, const JsonValue& request) {
   const std::string path = request.string_or("path", "");
   if (path.empty()) {
@@ -311,21 +336,63 @@ std::string handle_submit(JobServer& server, const JsonValue& request) {
   pipeline::PipelineJob job;
   job.input_path = path;
   job.name = request.string_or("name", "");
-  job.options = server.options().job_defaults;
-  if (const JsonValue* options = request.find("options")) {
-    job.options.fit.num_poles = static_cast<std::size_t>(
-        options->uint_or("poles", job.options.fit.num_poles));
-    job.options.fit.iterations = static_cast<std::size_t>(
-        options->uint_or("vf_iters", job.options.fit.iterations));
-    job.options.session.warm_start =
-        options->bool_or("warm_start", job.options.session.warm_start);
-    if (const JsonValue* stop = options->find("stop_after")) {
-      job.options.stop_after = pipeline::parse_stage(stop->as_string());
+  job.options = job_options_from(server, request);
+  const std::uint64_t id = server.submit(std::move(job));
+  return submit_ack("submit", id);
+}
+
+/// Inline submission: the request carries the input file's contents.
+///   {"op":"submit_inline","payload":"<text>","format":"touchstone",
+///    "ports":2,"name":"m","options":{...}}
+/// `format` is "touchstone" (needs "ports", or a "filename" hint whose
+/// ".sNp" extension provides it) or "samples"; omitted, it is inferred
+/// from ports/filename.  The payload is parsed inside the job's load
+/// stage by the same readers the path route uses, so results are
+/// bit-identical to submitting the file by path.
+std::string handle_submit_inline(JobServer& server,
+                                 const JsonValue& request) {
+  const JsonValue* payload = request.find("payload");
+  if (payload == nullptr) {
+    return error_response("submit_inline: missing \"payload\"");
+  }
+  pipeline::PipelineJob job;
+  job.input_text = payload->as_string();
+  if (job.input_text.empty()) {
+    return error_response("submit_inline: empty \"payload\"");
+  }
+  const std::string filename = request.string_or("filename", "");
+  job.name = request.string_or("name", filename.empty() ? "inline"
+                                                        : filename);
+  job.input_ports =
+      static_cast<std::size_t>(request.uint_or("ports", 0));
+  const std::string format = request.string_or("format", "");
+  if (format == "touchstone") {
+    job.input_format = pipeline::InputFormat::kTouchstone;
+  } else if (format == "samples") {
+    job.input_format = pipeline::InputFormat::kSamples;
+  } else if (!format.empty()) {
+    return error_response("submit_inline: unknown format '" + format +
+                          "' (expected touchstone|samples)");
+  }
+  // A filename hint supplies what the path route reads off the disk
+  // name: the Touchstone port count (and the format, when unstated).
+  if (!filename.empty() && io::is_touchstone_path(filename)) {
+    if (job.input_format == pipeline::InputFormat::kAuto) {
+      job.input_format = pipeline::InputFormat::kTouchstone;
+    }
+    if (job.input_ports == 0) {
+      job.input_ports = io::ports_from_extension(filename);
     }
   }
+  if (job.input_format == pipeline::InputFormat::kTouchstone &&
+      job.input_ports == 0) {
+    return error_response(
+        "submit_inline: Touchstone payload needs \"ports\" (or a "
+        "\"filename\" with a .sNp extension)");
+  }
+  job.options = job_options_from(server, request);
   const std::uint64_t id = server.submit(std::move(job));
-  return "{\"ok\": true, \"op\": \"submit\", \"id\": " +
-         std::to_string(id) + "}";
+  return submit_ack("submit_inline", id);
 }
 
 std::string handle_status(JobServer& server, const JsonValue& request) {
@@ -418,6 +485,13 @@ RequestOutcome handle_request(JobServer& server, const std::string& line) {
       outcome.response = "{\"ok\": true, \"op\": \"ping\"}";
     } else if (op == "submit") {
       outcome.response = handle_submit(server, request);
+    } else if (op == "submit_inline") {
+      outcome.response = handle_submit_inline(server, request);
+    } else if (op == "auth") {
+      // Unauthenticated transports accept (and ignore) the handshake so
+      // a client configured with a token works against either listener;
+      // authenticated ones intercept it before handle_request.
+      outcome.response = "{\"ok\": true, \"op\": \"auth\"}";
     } else if (op == "status") {
       outcome.response = handle_status(server, request);
     } else if (op == "result") {

@@ -1,35 +1,25 @@
 #include "phes/server/socket.hpp"
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
-#include <utility>
 
+#include "net_util.hpp"
 #include "phes/server/protocol.hpp"
-#include "phes/server/server.hpp"
 
 namespace phes::server {
 
 namespace {
 
-[[noreturn]] void throw_errno(const std::string& what) {
-  throw std::runtime_error(what + ": " + std::strerror(errno));
-}
-
-sockaddr_un make_address(const std::string& path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
-    throw std::runtime_error("socket path '" + path +
-                             "' is empty or too long for sockaddr_un");
-  }
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  return addr;
-}
+using detail::throw_errno;
 
 /// Write all of `data` (+ '\n') to fd; false on any failure.
 /// MSG_NOSIGNAL: a peer that disconnected before reading must produce
@@ -68,183 +58,111 @@ bool read_line(int fd, std::string& carry, std::string& line) {
   }
 }
 
+int connect_unix(const std::string& path) {
+  const sockaddr_un addr = detail::make_unix_address(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket()");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect(" + path + ")");
+  }
+  return fd;
+}
+
+int connect_tcp(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* info = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &info);
+  if (rc != 0) {
+    throw std::runtime_error("getaddrinfo(" + host +
+                             "): " + ::gai_strerror(rc));
+  }
+  int fd = -1;
+  int saved = ECONNREFUSED;
+  for (addrinfo* ai = info; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      saved = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    saved = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(info);
+  if (fd < 0) {
+    errno = saved;
+    throw_errno("connect(tcp:" + host + ":" + std::to_string(port) + ")");
+  }
+  // Request/response over discrete lines: don't let Nagle delay a
+  // request behind the previous response's ACK.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
 }  // namespace
 
-// ---- SocketServer -----------------------------------------------------
-
-SocketServer::SocketServer(JobServer& server, std::string socket_path)
-    : server_(server), path_(std::move(socket_path)) {}
-
-SocketServer::~SocketServer() { stop(); }
-
-void SocketServer::start() {
-  const sockaddr_un addr = make_address(path_);
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw_errno("socket()");
-  // A leftover socket file from a crashed server would fail the bind;
-  // probe it with a connect so a *live* server is never displaced.
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof addr) < 0) {
-    if (errno != EADDRINUSE) {
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-      throw_errno("bind(" + path_ + ")");
-    }
-    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    const bool alive =
-        probe >= 0 &&
-        ::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof addr) == 0;
-    if (probe >= 0) ::close(probe);
-    if (alive) {
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-      throw std::runtime_error("socket '" + path_ +
-                               "' already has a live server");
-    }
-    ::unlink(path_.c_str());
-    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-               sizeof addr) < 0) {
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-      throw_errno("bind(" + path_ + ")");
-    }
+Endpoint parse_endpoint(const std::string& spec) {
+  Endpoint endpoint;
+  if (spec.rfind("tcp:", 0) != 0) {
+    endpoint.kind = Endpoint::Kind::kUnix;
+    endpoint.path = spec;
+    return endpoint;
   }
-  if (::listen(listen_fd_, 64) < 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    ::unlink(path_.c_str());
-    throw_errno("listen(" + path_ + ")");
+  const std::size_t colon = spec.rfind(':');
+  if (colon == 3 || colon == std::string::npos) {
+    throw std::invalid_argument("endpoint '" + spec +
+                                "': expected tcp:HOST:PORT");
   }
-  started_ = true;
-  accept_thread_ = std::thread([this] { accept_loop(); });
-}
-
-void SocketServer::accept_loop() {
-  for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // listen socket closed (stop()) or fatal: exit the loop
-    }
-    if (stopping_.load(std::memory_order_acquire)) {
-      ::close(fd);
-      return;
-    }
-    reap_finished_connections();
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    connections_.push_back(std::make_unique<Connection>());
-    Connection& connection = *connections_.back();
-    connection.fd = fd;
-    connection.thread =
-        std::thread([this, &connection] { serve_connection(connection); });
+  endpoint.kind = Endpoint::Kind::kTcp;
+  endpoint.host = spec.substr(4, colon - 4);
+  const std::string port_text = spec.substr(colon + 1);
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
+  if (endpoint.host.empty() || end == port_text.c_str() || *end != '\0' ||
+      port == 0 || port > 65535) {
+    throw std::invalid_argument("endpoint '" + spec +
+                                "': expected tcp:HOST:PORT");
   }
-}
-
-void SocketServer::serve_connection(Connection& connection) {
-  const int fd = connection.fd;
-  std::string carry;
-  std::string line;
-  while (read_line(fd, carry, line)) {
-    const RequestOutcome outcome = handle_request(server_, line);
-    if (!write_line(fd, outcome.response)) break;
-    if (outcome.shutdown_requested) {
-      // Ack already flushed; surface the request and stop reading so
-      // the owner can tear the transport down.
-      note_shutdown(outcome.drain);
-      break;
-    }
-  }
-  // Mark done BEFORE closing: once closed, the fd number can be
-  // recycled for a new connection, and stop() must never shut a new
-  // connection's fd down through this stale record.
-  {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    connection.fd = -1;
-    connection.done.store(true, std::memory_order_release);
-  }
-  ::shutdown(fd, SHUT_RDWR);
-  ::close(fd);
-}
-
-void SocketServer::reap_finished_connections() {
-  std::list<std::unique_ptr<Connection>> finished;
-  {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    for (auto it = connections_.begin(); it != connections_.end();) {
-      if ((*it)->done.load(std::memory_order_acquire)) {
-        finished.push_back(std::move(*it));
-        it = connections_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-  for (auto& connection : finished) {
-    if (connection->thread.joinable()) connection->thread.join();
-  }
-}
-
-void SocketServer::note_shutdown(bool drain) {
-  {
-    std::lock_guard<std::mutex> lock(shutdown_mutex_);
-    shutdown_requested_ = true;
-    drain_ = drain;
-  }
-  shutdown_cv_.notify_all();
-}
-
-bool SocketServer::wait_shutdown() {
-  std::unique_lock<std::mutex> lock(shutdown_mutex_);
-  shutdown_cv_.wait(lock, [&] { return shutdown_requested_; });
-  return drain_;
-}
-
-bool SocketServer::shutdown_requested() const {
-  std::lock_guard<std::mutex> lock(shutdown_mutex_);
-  return shutdown_requested_;
-}
-
-void SocketServer::stop() {
-  if (!started_) return;
-  const bool already = stopping_.exchange(true);
-  if (!already) {
-    // Unblock accept(): shutdown+close the listening socket.
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    if (accept_thread_.joinable()) accept_thread_.join();
-    // Kick every live connection out of read(); done connections have
-    // already invalidated their fd (set to -1 under the lock), so a
-    // recycled descriptor number is never shut down by mistake.
-    std::list<std::unique_ptr<Connection>> remaining;
-    {
-      std::lock_guard<std::mutex> lock(connections_mutex_);
-      for (const auto& connection : connections_) {
-        if (connection->fd >= 0) ::shutdown(connection->fd, SHUT_RDWR);
-      }
-      remaining.swap(connections_);
-    }
-    for (auto& connection : remaining) {
-      if (connection->thread.joinable()) connection->thread.join();
-    }
-    ::unlink(path_.c_str());
-    note_shutdown(true);  // release wait_shutdown() on local stop
-  }
+  endpoint.port = static_cast<std::uint16_t>(port);
+  return endpoint;
 }
 
 // ---- Client -----------------------------------------------------------
 
 Client::Client(const std::string& socket_path) {
-  const sockaddr_un addr = make_address(socket_path);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0) throw_errno("socket()");
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof addr) < 0) {
-    const int saved = errno;
+  fd_ = connect_unix(socket_path);
+}
+
+Client::Client(const Endpoint& endpoint) {
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    fd_ = connect_unix(endpoint.path);
+    return;
+  }
+  fd_ = connect_tcp(endpoint.host, endpoint.port);
+  if (endpoint.token.empty()) return;
+  // Shared-token handshake: the server serves nothing before it.
+  std::string response;
+  try {
+    response = request("{\"op\": \"auth\", \"token\": " +
+                       json_quote(endpoint.token) + "}");
+  } catch (...) {
     ::close(fd_);
     fd_ = -1;
-    errno = saved;
-    throw_errno("connect(" + socket_path + ")");
+    throw;
+  }
+  if (response.find("\"ok\": true") == std::string::npos) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("authentication rejected: " + response);
   }
 }
 
@@ -260,6 +178,11 @@ std::string Client::request(const std::string& line) {
     throw std::runtime_error("Client: server closed the connection");
   }
   return response;
+}
+
+std::string round_trip(const Endpoint& endpoint, const std::string& line) {
+  Client client(endpoint);
+  return client.request(line);
 }
 
 std::string round_trip(const std::string& socket_path,

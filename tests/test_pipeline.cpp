@@ -109,6 +109,126 @@ TEST(Pipeline, LoadDispatchesOnExtension) {
               1e-9 * samples.omega.back());
 }
 
+TEST(Pipeline, InlineTextInputMatchesThePathRoute) {
+  // The same Touchstone bytes, submitted as a file path and as an
+  // in-memory payload, must produce bit-identical pipeline results —
+  // the invariant the server's submit_inline op rests on.
+  const auto samples = non_passive_samples(11);
+  const std::string path = "/tmp/phes_pipeline_inline.s2p";
+  io::save_touchstone_file(samples, path, {});
+  std::ostringstream contents;
+  {
+    std::ifstream in(path, std::ios::binary);
+    contents << in.rdbuf();
+  }
+
+  PipelineJob by_path;
+  by_path.input_path = path;
+  by_path.options.fit.num_poles = 10;
+  by_path.options.solver.threads = 1;
+  PipelineJob by_text;
+  by_text.name = "inline";
+  by_text.input_text = contents.str();
+  by_text.input_ports = 2;  // kAuto + ports>0 => Touchstone
+  by_text.options = by_path.options;
+
+  const auto from_path = run_pipeline(by_path);
+  const auto from_text = run_pipeline(by_text);
+  ASSERT_TRUE(from_path.ok) << from_path.error;
+  ASSERT_TRUE(from_text.ok) << from_text.error;
+  EXPECT_EQ(from_text.sample_count, from_path.sample_count);
+  EXPECT_EQ(from_text.ports, from_path.ports);
+  EXPECT_EQ(from_text.fit_rms, from_path.fit_rms);  // exact
+  EXPECT_EQ(from_text.status(), from_path.status());
+  ASSERT_EQ(from_text.initial_report.crossings.size(),
+            from_path.initial_report.crossings.size());
+  for (std::size_t i = 0; i < from_text.initial_report.crossings.size();
+       ++i) {
+    EXPECT_DOUBLE_EQ(from_text.initial_report.crossings[i],
+                     from_path.initial_report.crossings[i]);
+  }
+
+  // The phes-samples text format goes through the same inline route.
+  std::ostringstream samples_text;
+  macromodel::save_samples(samples, samples_text);
+  const auto parsed = pipeline::parse_input_text(
+      samples_text.str(), pipeline::InputFormat::kSamples, 0);
+  EXPECT_EQ(parsed.count(), samples.count());
+
+  // Touchstone text without a port count cannot be parsed.
+  EXPECT_THROW((void)pipeline::parse_input_text(
+                   contents.str(), pipeline::InputFormat::kTouchstone, 0),
+               std::runtime_error);
+  // A broken payload fails inside the load stage, captured not thrown.
+  PipelineJob bad;
+  bad.input_text = "not a touchstone file";
+  bad.input_ports = 2;
+  const auto failed = run_pipeline(bad);
+  EXPECT_FALSE(failed.ok);
+  EXPECT_EQ(failed.failed_stage, Stage::kLoad);
+}
+
+TEST(Pipeline, BatchSessionPoolSharesAcrossDuplicateModels) {
+  // Four jobs over ONE model, one worker: jobs serialize, so jobs 2-4
+  // must check the first job's session back out of the batch pool and
+  // serve their eigensolves from its factorization cache.
+  const auto samples = non_passive_samples(7, 20);
+  std::vector<PipelineJob> jobs;
+  for (int i = 0; i < 4; ++i) {
+    PipelineJob job = make_job(samples);
+    job.name = "dup-" + std::to_string(i);
+    job.options.fit.num_poles = 10;
+    job.options.stop_after = Stage::kCharacterize;
+    jobs.push_back(std::move(job));
+  }
+
+  pipeline::BatchOptions options;
+  options.job_workers = 1;
+  options.solver_threads = 1;
+  const pipeline::BatchRunner runner(options);
+  const auto outcome = runner.run_all(jobs);
+
+  ASSERT_EQ(outcome.results.size(), 4u);
+  for (const auto& r : outcome.results) ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(outcome.pool.checkouts, 4u);
+  EXPECT_EQ(outcome.pool.creations, 1u);
+  EXPECT_EQ(outcome.pool.pool_hits, 3u) << "duplicate models must share";
+  EXPECT_FALSE(outcome.results[0].session_reused);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_TRUE(outcome.results[i].session_reused);
+    EXPECT_GT(outcome.results[i].session.cache.hits, 0u)
+        << "cross-job factorization reuse missing on job " << i;
+  }
+  // Pooled reuse must not change the numbers: all four crossing sets
+  // agree bit for bit.
+  for (int i = 1; i < 4; ++i) {
+    ASSERT_EQ(outcome.results[i].initial_report.crossings.size(),
+              outcome.results[0].initial_report.crossings.size());
+    for (std::size_t k = 0;
+         k < outcome.results[i].initial_report.crossings.size(); ++k) {
+      EXPECT_DOUBLE_EQ(outcome.results[i].initial_report.crossings[k],
+                       outcome.results[0].initial_report.crossings[k]);
+    }
+  }
+
+  // Same batch with sharing off: private sessions, no pool activity.
+  pipeline::BatchOptions isolated = options;
+  isolated.share_sessions = false;
+  const auto cold = pipeline::BatchRunner(isolated).run_all(jobs);
+  EXPECT_EQ(cold.pool.checkouts, 0u);
+  for (const auto& r : cold.results) {
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_FALSE(r.session_reused);
+  }
+  // The summary table gains a pool footer row when stats are passed.
+  const auto table =
+      pipeline::summary_table(outcome.results, &outcome.pool);
+  std::ostringstream rendered;
+  table.print(rendered);
+  EXPECT_NE(rendered.str().find("(session pool)"), std::string::npos);
+  EXPECT_NE(rendered.str().find("3/4 reused"), std::string::npos);
+}
+
 TEST(Pipeline, ParallelismPlanSplitsTheBudget) {
   // Plenty of jobs: all threads go to job-level parallelism.
   auto plan = pipeline::plan_parallelism(8, 16);

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <unistd.h>
@@ -22,6 +23,7 @@
 #include "phes/server/result_store.hpp"
 #include "phes/server/server.hpp"
 #include "phes/server/socket.hpp"
+#include "phes/server/transport.hpp"
 #include "test_support.hpp"
 
 namespace phes {
@@ -262,12 +264,14 @@ TEST(ServerIntegration, SocketJobsBitMatchOneShotPipeline) {
   ASSERT_EQ(oneshot.status(), "enforced");
 
   JobServer jobs(deterministic_server_options());
-  server::SocketServer transport(jobs, unique_socket_path("bitmatch"));
+  const std::string socket_path = unique_socket_path("bitmatch");
+  server::TransportServer transport(
+      jobs, std::make_unique<server::UnixTransport>(socket_path));
   transport.start();
 
   // Two successive submissions of the same file over the socket: the
   // second must share the first's pooled session (same model hash).
-  server::Client client(transport.path());
+  server::Client client(socket_path);
   std::vector<std::uint64_t> ids;
   for (int i = 0; i < 2; ++i) {
     const std::string response = client.request(
@@ -396,7 +400,8 @@ TEST(ServerIntegration, StaleSocketFileIsReplacedLiveServerIsNot) {
   {
     // Plant a stale socket file (no listener behind it).
     JobServer jobs(deterministic_server_options());
-    server::SocketServer transport(jobs, path);
+    server::TransportServer transport(
+        jobs, std::make_unique<server::UnixTransport>(path));
     transport.start();
     // Leak the file on purpose: stop() unlinks, so instead simulate a
     // crash by writing a plain file after teardown.
@@ -406,12 +411,14 @@ TEST(ServerIntegration, StaleSocketFileIsReplacedLiveServerIsNot) {
   { std::ofstream stale(path); stale << ""; }
 
   JobServer jobs(deterministic_server_options());
-  server::SocketServer transport(jobs, path);
+  server::TransportServer transport(
+      jobs, std::make_unique<server::UnixTransport>(path));
   EXPECT_NO_THROW(transport.start());  // stale file replaced
 
   // A second server on the same live path must be refused.
   JobServer other(deterministic_server_options());
-  server::SocketServer duplicate(other, path);
+  server::TransportServer duplicate(
+      other, std::make_unique<server::UnixTransport>(path));
   EXPECT_THROW(duplicate.start(), std::runtime_error);
 
   transport.stop();
