@@ -17,8 +17,13 @@
 //       result store.  Listens on the AF_UNIX socket, plus a TCP
 //       endpoint with `--tcp HOST:PORT --auth-token-file FILE` (remote
 //       clients authenticate with the shared token).  All connections
-//       are served by one epoll event loop.  Runs until a client sends
-//       the shutdown op (or SIGINT/SIGTERM, which drains gracefully).
+//       are served by one epoll event loop; request handling runs on a
+//       small dispatch pool so status polls stay live while submits
+//       block on backpressure.  With `--data-dir DIR`, finished results
+//       spill to disk and are served again after a restart (jobs that
+//       were in flight at a crash come back as failed/lost).  Runs
+//       until a client sends the shutdown op (or SIGINT/SIGTERM, which
+//       drains gracefully).
 //   phes_pipeline client <endpoint> <op> [args]
 //       Scripting client; prints the server's JSON response line.
 //       <endpoint> is a socket path or tcp:HOST:PORT (the latter with
@@ -49,6 +54,13 @@
 //   --pool-mb <n>        idle session memory budget in MiB (default 256)
 //   --tcp <host:port>    additional TCP listener (serve only)
 //   --auth-token-file <f> shared token for the TCP auth handshake
+//   --data-dir <dir>     durable result storage + crash recovery
+//   --retain-records <n> in-memory finished-record cap (default 4096)
+//   --retain-mb <n>      disk retention byte budget (0 = unbounded)
+//   --retain-ttl <s>     disk retention TTL in seconds (0 = forever)
+//   --dispatch-workers <n> off-loop protocol handlers (0 = inline)
+//   --poll-ms <n>        fixed `client wait` poll interval (default:
+//                        exponential backoff 10 ms -> 500 ms)
 //
 // Exit status: 0 when every job succeeded, 1 when any failed, 2 usage.
 // `client wait` distinguishes outcomes: 0 done, 1 failed, 3 cancelled,
@@ -100,8 +112,14 @@ struct CliOptions {
   std::size_t pool_mb = 256;
   std::string tcp_endpoint;      ///< "HOST:PORT"; empty => no TCP listener
   std::string auth_token_file;   ///< shared token for the TCP handshake
+  std::string data_dir;          ///< empty => in-memory result store
+  std::size_t retain_records = 4096;
+  std::size_t retain_mb = 0;     ///< disk byte budget (0 = unbounded)
+  double retain_ttl = 0.0;       ///< disk TTL seconds (0 = forever)
+  std::size_t dispatch_workers = 2;
   // client-only
   double timeout_seconds = 0.0;
+  std::size_t poll_ms = 0;  ///< fixed wait poll interval; 0 = backoff
   bool drain = true;
   bool inline_submit = false;  ///< submit the file's contents, not path
   // Which job flags were explicitly passed: a client submit sends only
@@ -134,7 +152,10 @@ int usage() {
                "--pool-sessions N\n"
                "       --pool-mb N --tcp HOST:PORT --auth-token-file "
                "FILE\n"
-               "client: --timeout SECONDS (wait), --no-drain (shutdown),\n"
+               "serve: --data-dir DIR --retain-records N --retain-mb N\n"
+               "       --retain-ttl SECONDS --dispatch-workers N\n"
+               "client: --timeout SECONDS --poll-ms N (wait), "
+               "--no-drain (shutdown),\n"
                "        --inline (submit), --auth-token-file FILE (tcp)\n"
                "wait exit codes: 0 done, 1 failed, 3 cancelled, "
                "4 timeout\n");
@@ -218,6 +239,25 @@ CliOptions parse_flags(int argc, char** argv, int first) {
       cli.tcp_endpoint = value();
     } else if (flag == "--auth-token-file") {
       cli.auth_token_file = value();
+    } else if (flag == "--data-dir") {
+      cli.data_dir = value();
+    } else if (flag == "--retain-records") {
+      cli.retain_records = parse_count(value(), "--retain-records");
+    } else if (flag == "--retain-mb") {
+      cli.retain_mb = parse_count(value(), "--retain-mb");
+    } else if (flag == "--retain-ttl") {
+      const char* text = value();
+      char* end = nullptr;
+      cli.retain_ttl = std::strtod(text, &end);
+      if (end == text || *end != '\0' || cli.retain_ttl < 0.0) {
+        throw std::invalid_argument(
+            std::string("--retain-ttl: expected seconds, got '") + text +
+            "'");
+      }
+    } else if (flag == "--dispatch-workers") {
+      cli.dispatch_workers = parse_count(value(), "--dispatch-workers");
+    } else if (flag == "--poll-ms") {
+      cli.poll_ms = parse_count(value(), "--poll-ms");
     } else if (flag == "--inline") {
       cli.inline_submit = true;
     } else if (flag == "--timeout") {
@@ -371,8 +411,22 @@ int cmd_serve(const std::string& socket_path, const CliOptions& cli) {
   // must reach them through the pool's session options.
   options.pool.session = cli.job.session;
   options.job_defaults = cli.job;
+  options.max_finished_records = cli.retain_records;
+  options.data_dir = cli.data_dir;
+  options.retain_bytes = cli.retain_mb << 20;
+  options.retain_ttl_seconds = cli.retain_ttl;
 
   server::JobServer server(options);
+  if (!cli.data_dir.empty()) {
+    const auto storage = server.stats().storage;
+    std::printf("durable store %s: %zu record(s) recovered",
+                cli.data_dir.c_str(), storage.recovered);
+    if (storage.lost > 0) {
+      std::printf(", %zu marked lost (were in flight at the crash)",
+                  storage.lost);
+    }
+    std::printf("\n");
+  }
 
   std::vector<std::unique_ptr<server::Transport>> transports;
   transports.push_back(
@@ -389,7 +443,9 @@ int cmd_serve(const std::string& socket_path, const CliOptions& cli) {
     transports.push_back(std::make_unique<server::TcpTransport>(
         tcp.host, tcp.port, read_token_file(cli.auth_token_file)));
   }
-  server::TransportServer transport(server, std::move(transports));
+  server::TransportLimits limits;
+  limits.dispatch_workers = cli.dispatch_workers;
+  server::TransportServer transport(server, std::move(transports), limits);
   transport.start();
 
   std::signal(SIGINT, handle_signal);
@@ -519,6 +575,12 @@ int cmd_client(const std::string& endpoint_spec, const std::string& op,
 
   if (op == "wait") {
     // Poll status until the job is terminal (or the timeout runs out).
+    // Polls back off exponentially (10 ms doubling to a 500 ms cap) so
+    // a long job is not busy-polled at a fixed rate; --poll-ms pins a
+    // constant interval instead.
+    constexpr std::size_t kPollStartMs = 10;
+    constexpr std::size_t kPollCapMs = 500;
+    std::size_t poll_ms = cli.poll_ms > 0 ? cli.poll_ms : kPollStartMs;
     server::Client client(endpoint);
     const auto start = std::chrono::steady_clock::now();
     for (;;) {
@@ -544,7 +606,8 @@ int cmd_client(const std::string& endpoint_spec, const std::string& op,
                      cli.timeout_seconds, state.c_str());
         return kWaitTimeout;
       }
-      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+      if (cli.poll_ms == 0) poll_ms = std::min(poll_ms * 2, kPollCapMs);
     }
   }
 

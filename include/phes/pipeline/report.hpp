@@ -29,6 +29,21 @@ namespace phes::pipeline {
 void write_job_json(const PipelineResult& result, std::ostream& os,
                     std::size_t indent = 0);
 
+/// Parse one write_job_json document (pretty or single-line) back into
+/// a PipelineResult — the inverse used by the job server's durable
+/// result storage to serve `result` responses across restarts.  Only
+/// the serialized fields are reconstructed: band lists come back as
+/// default-valued entries of the recorded count, the matvec total is
+/// attributed to the initial report, and unserialized diagnostics
+/// (fit_iterations, crossings, per-band peaks) are lost.  The contract
+/// that matters is re-serialization stability:
+///   write_job_json(read_job_json(write_job_json(r))) ==
+///   write_job_json(r)
+/// byte for byte, so a recovered record's `result` response is
+/// identical to the pre-restart one.  Throws std::runtime_error on
+/// malformed input.
+[[nodiscard]] PipelineResult read_job_json(const std::string& text);
+
 void write_summary_json(const std::vector<PipelineResult>& results,
                         std::ostream& os);
 void write_summary_csv(const std::vector<PipelineResult>& results,

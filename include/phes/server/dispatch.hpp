@@ -1,0 +1,97 @@
+#pragma once
+// Off-loop protocol dispatch for the TransportServer.
+//
+// PR 4's epoll loop ran handle_request inline, so one submit blocked
+// on a full admission queue stalled status polls on every connection.
+// The DispatchPool moves request handling onto a small worker pool: the
+// loop enqueues decoded frames (tagged with the connection's token),
+// workers run the handler — which may block on admission backpressure —
+// and hand the completed RequestOutcome to a completion callback (the
+// transport re-queues it to the loop via its eventfd wakeup).
+//
+// Ordering: the pool itself is FIFO per submission order, and the
+// transport preserves per-connection response order by keeping at most
+// one request per connection in flight (later frames wait in the
+// connection's pending queue).  The task queue is bounded; try_submit
+// returns false when it is full (the transport answers "server
+// overloaded" rather than stalling the loop).
+//
+// Shutdown: stop() drops queued tasks and joins the workers.  A worker
+// blocked inside a submit finishes once the JobServer frees a slot or
+// shuts down — the owner must keep the JobServer alive (running or
+// shut down, either unblocks) until stop() returns.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "phes/server/protocol.hpp"
+
+namespace phes::server {
+
+struct DispatchStats {
+  std::size_t workers = 0;
+  std::size_t queue_depth = 0;  ///< tasks waiting (not yet picked up)
+  std::size_t peak_depth = 0;
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;  ///< try_submit refusals (queue full)
+};
+
+class DispatchPool {
+ public:
+  /// Runs one request line; may block (admission backpressure).
+  using Handler = std::function<RequestOutcome(const std::string& line)>;
+  /// Invoked from a worker thread with the finished outcome; must be
+  /// cheap and non-blocking (the transport just queues + wakes).
+  using Completion =
+      std::function<void(std::uint64_t conn_token, RequestOutcome outcome)>;
+
+  DispatchPool(std::size_t workers, std::size_t queue_capacity,
+               Handler handler, Completion on_complete);
+  ~DispatchPool();
+
+  DispatchPool(const DispatchPool&) = delete;
+  DispatchPool& operator=(const DispatchPool&) = delete;
+
+  /// Enqueue one request.  False when the queue is full or the pool is
+  /// stopping — never blocks (the caller is the event loop).
+  bool try_submit(std::uint64_t conn_token, std::string line);
+
+  /// Drop queued tasks, join the workers (in-flight handlers finish).
+  /// Idempotent.
+  void stop();
+
+  [[nodiscard]] DispatchStats stats() const;
+
+ private:
+  struct Task {
+    std::uint64_t conn_token = 0;
+    std::string line;
+  };
+
+  void worker_loop();
+
+  const std::size_t capacity_;
+  Handler handler_;
+  Completion on_complete_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+  std::size_t peak_depth_ = 0;
+  std::size_t submitted_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t rejected_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace phes::server

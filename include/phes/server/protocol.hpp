@@ -25,65 +25,27 @@
 // the same per-job record as `phes_pipeline --summary-json`, flattened
 // to one line.  A cancel ack ("cancelled": true) means the request was
 // accepted — a job already inside its final stage still completes, and
-// the terminal state reported by status/result is authoritative.  The JSON support here is a deliberately small parser
-// for this protocol (objects/arrays/strings/doubles) — not a general
-// serialization library.
+// the terminal state reported by status/result is authoritative.
+// `stats` reports queue/session-pool/job counters, the result
+// storage's retention counters, and — when served through a
+// TransportServer — the transport and dispatch-pool counters.
+//
+// The JSON parser used here is util::JsonValue (util/json.hpp), shared
+// with the pipeline's report reader; `JsonValue` stays available under
+// this namespace for existing callers.
 
+#include <cstddef>
 #include <cstdint>
-#include <memory>
+#include <functional>
 #include <string>
-#include <utility>
-#include <vector>
+
+#include "phes/util/json.hpp"
 
 namespace phes::server {
 
 class JobServer;
 
-/// Minimal immutable JSON document (parse + read-only access).
-class JsonValue {
- public:
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-
-  JsonValue() = default;
-
-  /// Parse one JSON document; trailing non-whitespace or malformed
-  /// input throws std::runtime_error with a character offset.
-  [[nodiscard]] static JsonValue parse(const std::string& text);
-
-  [[nodiscard]] Type type() const noexcept { return type_; }
-  [[nodiscard]] bool is_null() const noexcept {
-    return type_ == Type::kNull;
-  }
-
-  /// Typed accessors; throw std::runtime_error on a type mismatch.
-  [[nodiscard]] bool as_bool() const;
-  [[nodiscard]] double as_number() const;
-  [[nodiscard]] std::uint64_t as_uint() const;
-  [[nodiscard]] const std::string& as_string() const;
-  [[nodiscard]] const std::vector<JsonValue>& items() const;
-
-  /// Object member lookup; nullptr when absent (or not an object).
-  [[nodiscard]] const JsonValue* find(const std::string& key) const;
-
-  // Lookup with defaults, for optional request fields.
-  [[nodiscard]] bool bool_or(const std::string& key, bool fallback) const;
-  [[nodiscard]] double number_or(const std::string& key,
-                                 double fallback) const;
-  [[nodiscard]] std::uint64_t uint_or(const std::string& key,
-                                      std::uint64_t fallback) const;
-  [[nodiscard]] std::string string_or(const std::string& key,
-                                      const std::string& fallback) const;
-
- private:
-  struct Parser;
-
-  Type type_ = Type::kNull;
-  bool bool_ = false;
-  double number_ = 0.0;
-  std::string string_;
-  std::vector<JsonValue> items_;  ///< array elements
-  std::vector<std::pair<std::string, JsonValue>> members_;  ///< object
-};
+using JsonValue = util::JsonValue;
 
 /// JSON string helpers used when composing response lines.
 [[nodiscard]] std::string json_quote(const std::string& text);
@@ -102,11 +64,41 @@ struct RequestOutcome {
   bool drain = true;  ///< shutdown mode requested
 };
 
+/// Transport-side counters the stats op folds into its response when
+/// the request is served through a TransportServer (the protocol layer
+/// itself has no transport to ask).
+struct TransportSnapshot {
+  std::size_t accepted = 0;          ///< connections accepted (all time)
+  std::size_t open_connections = 0;
+  std::size_t requests = 0;          ///< lines handled (inline + pooled)
+  std::size_t inline_requests = 0;   ///< served on the loop fast path
+  std::size_t dispatched = 0;        ///< handed to the dispatch pool
+  std::size_t rejected = 0;          ///< dispatch-overload rejections
+  std::size_t oversized_lines = 0;
+  std::size_t auth_failures = 0;
+  std::size_t dispatch_workers = 0;  ///< 0 => inline handling (no pool)
+  std::size_t dispatch_queue_depth = 0;
+  std::size_t dispatch_peak_depth = 0;
+  std::size_t dispatch_completed = 0;
+};
+
+/// Provider the transport passes so `stats` can report live counters.
+using TransportSnapshotFn = std::function<TransportSnapshot()>;
+
 /// Execute one NDJSON request line against `server`.  Never throws:
 /// parse and dispatch errors come back as {"ok":false,...} responses.
 /// The shutdown op only reports the request — the caller decides when
 /// to invoke JobServer::shutdown (typically after flushing the ack).
-[[nodiscard]] RequestOutcome handle_request(JobServer& server,
-                                            const std::string& line);
+/// `snapshot`, when provided, feeds the stats op's transport section.
+[[nodiscard]] RequestOutcome handle_request(
+    JobServer& server, const std::string& line,
+    const TransportSnapshotFn& snapshot = nullptr);
+
+/// Already-parsed variant for callers that needed the document anyway
+/// (the transport's fast path peeks at the op before deciding where to
+/// run the request — no point parsing the same line twice).
+[[nodiscard]] RequestOutcome handle_request(
+    JobServer& server, const JsonValue& request,
+    const TransportSnapshotFn& snapshot = nullptr);
 
 }  // namespace phes::server

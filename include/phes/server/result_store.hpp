@@ -3,56 +3,40 @@
 // N?" after the worker that ran it has moved on.
 //
 // Every submission gets a record at admission time; the record walks
-// queued -> running -> {done, failed, cancelled} and keeps the full
-// PipelineResult once the job finishes, so the `result` protocol op can
-// return the same machine-readable report as the batch summary writer.
-// Finished records are evicted oldest-first once the store exceeds its
-// retention cap (a long-lived server must not grow without bound);
-// queued/running records are never evicted.
+// queued -> running -> {done, failed, cancelled}.  Live (queued or
+// running) records are kept in the store's own map and are never
+// evicted; records reaching a terminal state are handed to a pluggable
+// Storage backend (server/storage.hpp) that owns retention and — for
+// DiskStorage — persistence and crash recovery, so the `result`
+// protocol op can return the same machine-readable report as the batch
+// summary writer even across a server restart.
 
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "phes/pipeline/job.hpp"
+#include "phes/server/storage.hpp"
 
 namespace phes::server {
 
-enum class JobState {
-  kQueued = 0,
-  kRunning,
-  kDone,       ///< finished with ok (includes stopped-early jobs)
-  kFailed,     ///< a stage failed
-  kCancelled,  ///< cancelled while queued or at a stage boundary
-};
-
-[[nodiscard]] const char* job_state_name(JobState state) noexcept;
-[[nodiscard]] bool is_terminal(JobState state) noexcept;
-
-struct JobRecord {
-  std::uint64_t id = 0;
-  std::string name;
-  JobState state = JobState::kQueued;
-  /// Last stage the pipeline started (meaningful once running).
-  pipeline::Stage stage = pipeline::Stage::kLoad;
-  bool stage_known = false;
-  /// Full result, valid once the state is terminal (a queued-cancel
-  /// leaves a synthesized cancelled result).
-  pipeline::PipelineResult result;
-};
-
 class ResultStore {
  public:
+  /// In-memory backend with a finished-record retention cap.
   explicit ResultStore(std::size_t max_finished = 4096);
+  /// Custom backend (e.g. DiskStorage for a durable server).
+  explicit ResultStore(std::unique_ptr<Storage> storage);
 
   ResultStore(const ResultStore&) = delete;
   ResultStore& operator=(const ResultStore&) = delete;
 
-  /// Admission: creates the queued record.
+  /// Admission: creates the queued record (journaled by durable
+  /// backends so a crash marks the job lost rather than unknown).
   void add(std::uint64_t id, const std::string& name);
 
   /// queued -> running.  False when the record is gone or not queued
@@ -70,39 +54,43 @@ class ResultStore {
   bool mark_cancelled(std::uint64_t id);
 
   [[nodiscard]] std::optional<JobRecord> get(std::uint64_t id) const;
-  /// State-only lookup — no PipelineResult copy.  The hot path for
-  /// wait predicates and status polls.
+  /// State-only lookup — no PipelineResult copy (and no payload read
+  /// on a disk backend).  The hot path for wait predicates and status
+  /// polls.
   [[nodiscard]] std::optional<JobState> state(std::uint64_t id) const;
 
-  /// What a status poll needs, without the PipelineResult payload.
-  struct JobSummary {
-    std::uint64_t id = 0;
-    std::string name;
-    JobState state = JobState::kQueued;
-    pipeline::Stage stage = pipeline::Stage::kLoad;
-    bool stage_known = false;
-    std::string status;  ///< PipelineResult::status(), terminal only
-  };
+  /// Kept as a nested name for existing callers; the struct itself
+  /// lives next to Storage.
+  using JobSummary = server::JobSummary;
   [[nodiscard]] std::optional<JobSummary> summary(std::uint64_t id) const;
   /// Summaries of all records, ascending id — the status-all op; a
   /// full all() would deep-copy every retained result per poll.
   [[nodiscard]] std::vector<JobSummary> summaries() const;
 
   /// All records, ascending id (full results; prefer summaries() for
-  /// polling).
+  /// polling — on a disk backend this reads every stored payload).
   [[nodiscard]] std::vector<JobRecord> all() const;
 
   /// Record counts by state, indexed by static_cast<size_t>(JobState).
   [[nodiscard]] std::vector<std::size_t> state_counts() const;
   [[nodiscard]] std::size_t size() const;
 
- private:
-  void evict_finished_locked();
+  /// Backend retention/persistence counters (the stats op's "store").
+  [[nodiscard]] StorageStats storage_stats() const;
+  /// Highest id the backend recovered — the server resumes its id
+  /// sequence above it.
+  [[nodiscard]] std::uint64_t max_seen_id() const;
 
-  const std::size_t max_finished_;
+ private:
+  /// Move a live record into the backend as `state` with `result`.
+  void finish_locked(std::map<std::uint64_t, JobRecord>::iterator it,
+                     JobState state, pipeline::PipelineResult result);
+
   mutable std::mutex mutex_;
+  std::unique_ptr<Storage> storage_;
+  /// Live queued/running records only; terminal records live in the
+  /// backend.
   std::map<std::uint64_t, JobRecord> records_;
-  std::size_t finished_ = 0;  ///< terminal records currently resident
 };
 
 }  // namespace phes::server

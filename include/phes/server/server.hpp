@@ -47,8 +47,21 @@ struct ServerOptions {
   /// Pool sessions across jobs by model content hash.
   bool share_sessions = true;
   engine::SessionPoolOptions pool{};
-  /// Finished-record retention cap of the result store.
+  /// Finished-record retention cap of the in-memory result store
+  /// (ignored when data_dir selects the disk backend).
   std::size_t max_finished_records = 4096;
+  /// Durable result storage: when non-empty, finished results spill to
+  /// this directory as JSON records (server::DiskStorage) and are
+  /// recovered on the next start — `status`/`result`/`wait` survive a
+  /// restart, and the id sequence resumes above every recovered id.
+  /// Jobs that were queued/running when the process died come back as
+  /// failed ("lost in server restart").
+  std::string data_dir;
+  /// Disk retention: byte budget for stored records (0 = unbounded).
+  std::size_t retain_bytes = 0;
+  /// Disk retention: drop records older than this many seconds
+  /// (0 = keep forever).
+  double retain_ttl_seconds = 0.0;
   /// Base options applied to submissions that do not override them.
   pipeline::JobOptions job_defaults{};
 };
@@ -59,6 +72,8 @@ struct ServerStats {
   std::size_t solver_threads = 0;
   JobQueue::Stats queue;
   engine::SessionPoolStats pool;
+  /// Result-storage backend counters (retention, recovery).
+  StorageStats storage;
   /// Counts by JobState, indexed by static_cast<size_t>(state).
   std::vector<std::size_t> states;
 };

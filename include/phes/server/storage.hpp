@@ -1,0 +1,216 @@
+#pragma once
+// Pluggable terminal-record storage behind the server's ResultStore.
+//
+// The ResultStore keeps live (queued/running) records in memory and
+// hands every record that reaches a terminal state to a Storage
+// backend, which owns retention policy and — for durable backends —
+// persistence and crash recovery:
+//
+//   MemoryStorage — the original in-process map; retention is a
+//     record-count cap, oldest finished records evicted first.
+//   DiskStorage   — spills each finished PipelineResult as the same
+//     JSON record `phes_pipeline --summary-json` writes (one
+//     jobs/job-<id>.json per record, via pipeline::write_job_json)
+//     next to an append-only NDJSON index journal.  On startup the
+//     journal is replayed: terminal records are recovered and served
+//     again (`result` responses are byte-identical to the pre-restart
+//     ones — see pipeline::read_job_json), and jobs that were still
+//     queued or running when the process died are marked failed with a
+//     "lost in server restart" error so clients polling them get a
+//     definitive answer instead of an unknown id.  Retention is a byte
+//     budget and/or TTL instead of a record count.
+//
+// Thread safety: a Storage is externally synchronized — every call is
+// made under the owning ResultStore's mutex.  Construction (including
+// DiskStorage recovery) happens before the store is shared.
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "phes/pipeline/job.hpp"
+
+namespace phes::server {
+
+enum class JobState {
+  kQueued = 0,
+  kRunning,
+  kDone,       ///< finished with ok (includes stopped-early jobs)
+  kFailed,     ///< a stage failed (or the job was lost in a restart)
+  kCancelled,  ///< cancelled while queued or at a stage boundary
+};
+
+[[nodiscard]] const char* job_state_name(JobState state) noexcept;
+[[nodiscard]] bool is_terminal(JobState state) noexcept;
+
+struct JobRecord {
+  std::uint64_t id = 0;
+  std::string name;
+  JobState state = JobState::kQueued;
+  /// Last stage the pipeline started (meaningful once running).
+  pipeline::Stage stage = pipeline::Stage::kLoad;
+  bool stage_known = false;
+  /// Full result, valid once the state is terminal (a queued-cancel
+  /// leaves a synthesized cancelled result).
+  pipeline::PipelineResult result;
+};
+
+/// What a status poll needs, without the PipelineResult payload.
+struct JobSummary {
+  std::uint64_t id = 0;
+  std::string name;
+  JobState state = JobState::kQueued;
+  pipeline::Stage stage = pipeline::Stage::kLoad;
+  bool stage_known = false;
+  std::string status;  ///< PipelineResult::status(), terminal only
+};
+
+struct StorageStats {
+  bool durable = false;       ///< records survive a process restart
+  std::size_t records = 0;    ///< terminal records retained
+  std::size_t bytes = 0;      ///< persisted payload bytes (disk only)
+  std::size_t evicted = 0;    ///< retention evictions, lifetime
+  std::size_t recovered = 0;  ///< terminal records recovered at startup
+  std::size_t lost = 0;       ///< non-terminal at crash, marked failed
+};
+
+/// Terminal-record backend.  Holds only records in a terminal state;
+/// queued/running records live in the ResultStore's own map.
+class Storage {
+ public:
+  virtual ~Storage() = default;
+
+  /// A job was admitted.  Durable backends journal it so a crash
+  /// surfaces the job as lost rather than unknown; default no-op.
+  virtual void note_admitted(std::uint64_t /*id*/,
+                             const std::string& /*name*/) {}
+
+  /// Store a terminal record and apply the backend's retention policy.
+  virtual void put(const JobRecord& record) = 0;
+
+  [[nodiscard]] virtual std::optional<JobRecord> get(
+      std::uint64_t id) const = 0;
+  [[nodiscard]] virtual std::optional<JobState> state(
+      std::uint64_t id) const = 0;
+  [[nodiscard]] virtual std::optional<JobSummary> summary(
+      std::uint64_t id) const = 0;
+  /// All retained summaries / records, ascending id.  all() may read
+  /// every persisted payload — prefer summaries() for polling.
+  [[nodiscard]] virtual std::vector<JobSummary> summaries() const = 0;
+  [[nodiscard]] virtual std::vector<JobRecord> all() const = 0;
+
+  /// Record counts indexed by static_cast<size_t>(JobState) — the
+  /// stats-op hot path, so no per-record string materialization.
+  [[nodiscard]] virtual std::vector<std::size_t> state_counts() const = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual StorageStats stats() const = 0;
+
+  /// Highest job id this backend has ever seen (recovered ids
+  /// included) — the server resumes its id sequence above it so a
+  /// restart cannot reissue an id that still names a stored record.
+  [[nodiscard]] virtual std::uint64_t max_seen_id() const { return 0; }
+};
+
+/// The original in-memory retention: keep at most `max_finished`
+/// terminal records, evicting oldest-first.
+class MemoryStorage final : public Storage {
+ public:
+  explicit MemoryStorage(std::size_t max_finished = 4096);
+
+  void put(const JobRecord& record) override;
+  [[nodiscard]] std::optional<JobRecord> get(std::uint64_t id) const override;
+  [[nodiscard]] std::optional<JobState> state(
+      std::uint64_t id) const override;
+  [[nodiscard]] std::optional<JobSummary> summary(
+      std::uint64_t id) const override;
+  [[nodiscard]] std::vector<JobSummary> summaries() const override;
+  [[nodiscard]] std::vector<JobRecord> all() const override;
+  [[nodiscard]] std::vector<std::size_t> state_counts() const override;
+  [[nodiscard]] std::size_t size() const override;
+  [[nodiscard]] StorageStats stats() const override;
+
+ private:
+  const std::size_t max_finished_;
+  std::map<std::uint64_t, JobRecord> records_;
+  std::size_t evicted_ = 0;
+};
+
+struct DiskStorageOptions {
+  /// Byte budget for persisted job records; past it, oldest records
+  /// are evicted (file unlinked, journal updated).  0 = unbounded.
+  std::size_t max_bytes = 0;
+  /// Records older than this (wall-clock seconds since they finished)
+  /// are purged lazily on mutation/stats.  0 = no TTL.
+  double ttl_seconds = 0.0;
+};
+
+/// Disk-backed storage under `dir`:
+///   <dir>/index.ndjson    append-only journal (add/finish/evict
+///                         events; compacted on startup)
+///   <dir>/jobs/job-N.json one write_job_json document per record
+/// Construction creates the directories, replays the journal
+/// (recovering served records and marking admitted-but-unfinished jobs
+/// lost), and compacts the journal.  Throws std::runtime_error when
+/// the directory cannot be created or written.
+class DiskStorage final : public Storage {
+ public:
+  explicit DiskStorage(std::string dir, DiskStorageOptions options = {});
+
+  void note_admitted(std::uint64_t id, const std::string& name) override;
+  void put(const JobRecord& record) override;
+  [[nodiscard]] std::optional<JobRecord> get(std::uint64_t id) const override;
+  [[nodiscard]] std::optional<JobState> state(
+      std::uint64_t id) const override;
+  [[nodiscard]] std::optional<JobSummary> summary(
+      std::uint64_t id) const override;
+  [[nodiscard]] std::vector<JobSummary> summaries() const override;
+  [[nodiscard]] std::vector<JobRecord> all() const override;
+  [[nodiscard]] std::vector<std::size_t> state_counts() const override;
+  [[nodiscard]] std::size_t size() const override;
+  [[nodiscard]] StorageStats stats() const override;
+  [[nodiscard]] std::uint64_t max_seen_id() const override {
+    return max_seen_id_;
+  }
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+ private:
+  /// Summary-level index entry; the payload stays on disk until get().
+  struct Entry {
+    std::string name;
+    JobState state = JobState::kDone;
+    pipeline::Stage stage = pipeline::Stage::kLoad;
+    bool stage_known = false;
+    std::string status;
+    std::size_t bytes = 0;
+    double finished_unix = 0.0;  ///< wall-clock seconds, TTL anchor
+  };
+
+  void recover();
+  void compact_index();
+  void append_event(const std::string& line);
+  void write_record(const JobRecord& record, double finished_unix);
+  void evict(std::uint64_t id);
+  void enforce_retention(double now_unix);
+  [[nodiscard]] std::string job_path(std::uint64_t id) const;
+  [[nodiscard]] static JobSummary summarize(std::uint64_t id,
+                                            const Entry& entry);
+
+  std::string dir_;
+  DiskStorageOptions options_;
+  std::ofstream index_;  ///< journal, append mode
+  std::map<std::uint64_t, Entry> entries_;
+  std::map<std::uint64_t, std::string> pending_;  ///< admitted, no finish
+  std::uint64_t max_seen_id_ = 0;
+  std::size_t total_bytes_ = 0;
+  std::size_t evicted_ = 0;
+  std::size_t recovered_ = 0;
+  std::size_t lost_ = 0;
+};
+
+}  // namespace phes::server

@@ -13,30 +13,47 @@
 //     network or behind a TLS terminator (see README).
 //
 // TransportServer drives any number of transports from a single
-// epoll-based event loop thread, replacing the PR 3 thread-per-
-// connection model: sockets are non-blocking, every connection carries
-// its own read/write buffers, and frames are newline-delimited JSON
-// lines reassembled across partial reads (a frame split over many
-// epoll wakeups is handled, as is a response split over many partial
-// writes).  A line that grows past TransportLimits::max_line_bytes
-// without a terminator gets one error response and the rest of that
-// line is discarded — the connection survives.
+// epoll-based event loop thread: sockets are non-blocking, every
+// connection carries its own read/write buffers, and frames are
+// newline-delimited JSON lines reassembled across partial reads (a
+// frame split over many epoll wakeups is handled, as is a response
+// split over many partial writes).  A line that grows past
+// TransportLimits::max_line_bytes without a terminator gets one error
+// response and the rest of that line is discarded — the connection
+// survives.
 //
-// Request handling (server/protocol.hpp) runs on the loop thread; a
-// submit against a full admission queue therefore backpressures every
-// connection of this server, not just the submitter — the bounded
-// queue's contract, now applied at the transport.
+// Request handling runs OFF the loop thread on a small DispatchPool
+// (server/dispatch.hpp): the loop frames a line, hands it to the pool,
+// and keeps serving every other connection; the completed response is
+// re-queued to the loop through the eventfd wakeup and written from
+// the loop thread (workers never touch sockets).  A submit blocked on
+// a full admission queue therefore stalls only its own connection (and
+// one pool worker) — status/stats/ping stay live.  Two refinements:
+//   - fast path: cheap ops (ping/status/result/cancel/stats/auth/
+//     shutdown) on a connection with nothing in flight are answered
+//     inline on the loop — no pool round-trip;
+//   - per-connection ordering: at most one request per connection is
+//     in the pool at a time; later frames wait in the connection's
+//     pending queue, and a connection that pipelines past
+//     max_pipelined_requests has its read interest parked until the
+//     backlog drains (flow control, not disconnect).
+// dispatch_workers = 0 restores the PR 4 inline-handling behavior.
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
+
+#include "phes/server/dispatch.hpp"
+#include "phes/server/protocol.hpp"
 
 namespace phes::server {
 
@@ -128,19 +145,39 @@ struct TransportLimits {
   /// backpressure of the old thread-per-connection model, restored as
   /// a hard cap: past it the connection is dropped.
   std::size_t max_pending_out_bytes = 16u << 20;
+  /// Off-loop protocol handlers.  Sizing: each worker can absorb one
+  /// submit blocked on admission backpressure while the loop keeps
+  /// polling; 2 is enough for liveness, more only helps when many
+  /// connections block on submits at once.  0 = handle every request
+  /// inline on the loop (the PR 4 behavior: one blocked submit stalls
+  /// every connection).
+  std::size_t dispatch_workers = 2;
+  /// Bound on the dispatch pool's task queue; with per-connection
+  /// single-flight this only fills when more than this many
+  /// connections have a request in flight — excess requests get a
+  /// "server overloaded" error instead of stalling the loop.
+  std::size_t dispatch_queue_capacity = 1024;
+  /// Frames a connection may pipeline ahead of its in-flight request
+  /// before the loop parks its read interest (resumed as the backlog
+  /// drains) — bounds per-connection memory without disconnecting.
+  std::size_t max_pipelined_requests = 128;
 };
 
 struct TransportStats {
   std::size_t accepted = 0;       ///< connections accepted (all time)
   std::size_t open_connections = 0;
-  std::size_t requests = 0;       ///< lines dispatched to the protocol
+  std::size_t requests = 0;       ///< lines handled (inline + pooled)
+  std::size_t inline_requests = 0;  ///< answered on the loop fast path
+  std::size_t dispatched = 0;       ///< handed to the dispatch pool
+  std::size_t rejected = 0;         ///< dispatch-overload refusals
   std::size_t auth_failures = 0;  ///< bad/missing token, pre-auth ops
   std::size_t oversized_lines = 0;
 };
 
 /// Single-threaded epoll event loop serving the NDJSON protocol over
-/// any set of transports.  Lifecycle mirrors the old SocketServer:
-/// construct -> start() -> (clients) -> wait_shutdown()/stop().
+/// any set of transports, with request handling on a DispatchPool.
+/// Lifecycle mirrors the old SocketServer: construct -> start() ->
+/// (clients) -> wait_shutdown()/stop().
 class TransportServer {
  public:
   TransportServer(JobServer& server,
@@ -154,12 +191,15 @@ class TransportServer {
   TransportServer(const TransportServer&) = delete;
   TransportServer& operator=(const TransportServer&) = delete;
 
-  /// Open every listener and start the event-loop thread.  Throws
-  /// std::runtime_error on socket failures (no thread is left behind).
+  /// Open every listener and start the event-loop thread (plus the
+  /// dispatch pool).  Throws std::runtime_error on socket failures (no
+  /// thread is left behind).
   void start();
 
-  /// Stop the loop, close every listener and connection, join the
-  /// thread.  Idempotent.
+  /// Stop the loop, join the dispatch pool, close every listener and
+  /// connection, join the thread.  Idempotent.  A dispatch worker
+  /// blocked inside a submit unblocks once the JobServer frees a slot
+  /// or shuts down — keep the JobServer alive until stop() returns.
   void stop();
 
   /// Block until a client requests shutdown (or stop() is called).
@@ -168,6 +208,10 @@ class TransportServer {
   [[nodiscard]] bool shutdown_requested() const;
 
   [[nodiscard]] TransportStats stats() const;
+  /// Dispatch-pool counters (all zero when dispatch_workers == 0).
+  [[nodiscard]] DispatchStats dispatch_stats() const;
+  /// Combined view the protocol's stats op reports.
+  [[nodiscard]] TransportSnapshot snapshot() const;
   [[nodiscard]] const std::vector<std::unique_ptr<Transport>>& transports()
       const noexcept {
     return transports_;
@@ -176,6 +220,7 @@ class TransportServer {
  private:
   struct Connection {
     int fd = -1;
+    std::uint64_t token = 0;   ///< stable id (fds are reused by the OS)
     Transport* transport = nullptr;
     bool authed = false;       ///< true immediately when no auth needed
     std::string in;            ///< bytes carried across partial reads
@@ -183,7 +228,11 @@ class TransportServer {
     std::size_t out_off = 0;   ///< sent prefix of `out`
     bool discarding = false;   ///< dropping an oversized line
     bool close_after_flush = false;
-    bool want_write = false;   ///< EPOLLOUT currently armed
+    std::uint32_t armed_events = 0;  ///< epoll interest currently set
+    // Off-loop dispatch state (loop-thread-owned).
+    std::deque<std::string> pending;  ///< frames behind the in-flight one
+    bool inflight = false;     ///< one request in the pool
+    bool paused = false;       ///< read interest parked (flow control)
   };
 
   void loop();
@@ -193,6 +242,15 @@ class TransportServer {
   /// Frame + dispatch everything complete in conn.in.
   void process_buffer(Connection& conn);
   void handle_line(Connection& conn, const std::string& line);
+  /// Run one request inline on the loop thread and answer it
+  /// (including the shutdown ack/flush/close sequence).
+  void handle_inline(Connection& conn, const std::string& line);
+  /// Answer a finished outcome on the loop thread (shutdown included).
+  void finish_outcome(Connection& conn, const RequestOutcome& outcome);
+  /// Feed the connection's pending frames to the pool (one in flight).
+  void pump_dispatch(Connection& conn);
+  /// Apply finished pool outcomes queued by the completion callback.
+  void drain_completions();
   void enqueue(Connection& conn, const std::string& response_line);
   /// Answer an over-bound request line (error response; pre-auth
   /// connections are additionally closed).  The caller has already
@@ -204,6 +262,8 @@ class TransportServer {
   void update_epoll(Connection& conn);
   void close_connection(int fd);
   void note_shutdown(bool drain);
+  /// Kick the loop out of epoll_wait (completion arrived / stop()).
+  void notify_loop();
 
   JobServer& server_;
   std::vector<std::unique_ptr<Transport>> transports_;
@@ -211,7 +271,7 @@ class TransportServer {
 
   std::vector<int> listen_fds_;  ///< parallel to transports_
   int epoll_fd_ = -1;
-  int wake_fd_ = -1;  ///< eventfd: stop() kicks the loop
+  int wake_fd_ = -1;  ///< eventfd: stop() and completions kick the loop
   /// Reserve descriptor sacrificed to accept+close a pending
   /// connection under EMFILE/ENFILE (else the level-triggered listener
   /// event busy-spins the loop).
@@ -222,6 +282,12 @@ class TransportServer {
 
   /// Owned by the loop thread between start() and join.
   std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+  std::unordered_map<std::uint64_t, int> token_to_fd_;
+  std::uint64_t next_token_ = 0;
+
+  std::unique_ptr<DispatchPool> dispatch_pool_;  ///< null when inline
+  std::mutex completions_mutex_;
+  std::deque<std::pair<std::uint64_t, RequestOutcome>> completions_;
 
   mutable std::mutex stats_mutex_;
   TransportStats stats_;

@@ -1,0 +1,63 @@
+#pragma once
+// Minimal immutable JSON document (parse + read-only access).
+//
+// Grown for the job server's NDJSON protocol and now shared with the
+// pipeline's report reader (JSON job records round-tripped through the
+// durable result storage), so it lives in util rather than server.
+// It is a deliberately small parser for machine-written documents
+// (objects/arrays/strings/doubles) — not a general serialization
+// library.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace phes::util {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  /// Parse one JSON document; trailing non-whitespace or malformed
+  /// input throws std::runtime_error with a character offset.
+  [[nodiscard]] static JsonValue parse(const std::string& text);
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept {
+    return type_ == Type::kNull;
+  }
+
+  /// Typed accessors; throw std::runtime_error on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  // Lookup with defaults, for optional fields.
+  [[nodiscard]] bool bool_or(const std::string& key, bool fallback) const;
+  [[nodiscard]] double number_or(const std::string& key,
+                                 double fallback) const;
+  [[nodiscard]] std::uint64_t uint_or(const std::string& key,
+                                      std::uint64_t fallback) const;
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      const std::string& fallback) const;
+
+ private:
+  struct Parser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;  ///< array elements
+  std::vector<std::pair<std::string, JsonValue>> members_;  ///< object
+};
+
+}  // namespace phes::util

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "phes/util/json.hpp"
+
 namespace phes::pipeline {
 
 namespace {
@@ -127,6 +129,85 @@ void write_job_json(const PipelineResult& r, std::ostream& os,
   os << " },\n";
   os << pad << "  \"total_seconds\": " << fmt(r.total_seconds) << "\n";
   os << pad << "}";
+}
+
+PipelineResult read_job_json(const std::string& text) {
+  const util::JsonValue doc = util::JsonValue::parse(text);
+  if (doc.type() != util::JsonValue::Type::kObject) {
+    throw std::runtime_error("read_job_json: not a JSON object");
+  }
+  PipelineResult r;
+  r.name = doc.string_or("name", "");
+  r.id = doc.uint_or("id", 0);
+  r.ok = doc.bool_or("ok", false);
+  r.completed = doc.bool_or("completed", false);
+  r.cancelled = doc.bool_or("cancelled", false);
+  if (!r.ok) {
+    r.error = doc.string_or("error", "");
+    if (const util::JsonValue* stage = doc.find("failed_stage")) {
+      r.failed_stage = parse_stage(stage->as_string());
+    }
+  }
+  r.sample_count = static_cast<std::size_t>(doc.uint_or("samples", 0));
+  r.ports = static_cast<std::size_t>(doc.uint_or("ports", 0));
+  r.order = static_cast<std::size_t>(doc.uint_or("order", 0));
+  r.fit_rms = doc.number_or("fit_rms", 0.0);
+  // Band lists survive only as counts: default-valued entries keep
+  // `.size()` (all the writer reads) stable across the round trip.
+  if (const util::JsonValue* bands = doc.find("bands_initial")) {
+    if (!bands->is_null()) {
+      r.initial_report.bands.resize(
+          static_cast<std::size_t>(bands->as_uint()));
+    }
+  }
+  if (const util::JsonValue* bands = doc.find("bands_final")) {
+    if (!bands->is_null()) {
+      r.final_report.bands.resize(
+          static_cast<std::size_t>(bands->as_uint()));
+    }
+  }
+  r.certified_passive = doc.bool_or("certified_passive", false);
+  if (const util::JsonValue* enf = doc.find("enforcement")) {
+    r.enforcement_run = enf->bool_or("run", false);
+    r.enforcement.iterations =
+        static_cast<std::size_t>(enf->uint_or("iterations", 0));
+    r.enforcement.characterizations =
+        static_cast<std::size_t>(enf->uint_or("characterizations", 0));
+    r.enforcement.relative_model_change =
+        enf->number_or("relative_model_change", 0.0);
+  }
+  if (const util::JsonValue* session = doc.find("session")) {
+    r.session.cache.hits =
+        static_cast<std::size_t>(session->uint_or("cache_hits", 0));
+    r.session.cache.misses =
+        static_cast<std::size_t>(session->uint_or("cache_misses", 0));
+    r.session.cache.evictions =
+        static_cast<std::size_t>(session->uint_or("cache_evictions", 0));
+    r.session.factorizations =
+        static_cast<std::size_t>(session->uint_or("factorizations", 0));
+    r.session.solves =
+        static_cast<std::size_t>(session->uint_or("solves", 0));
+    r.session.warm_solves =
+        static_cast<std::size_t>(session->uint_or("warm_solves", 0));
+    r.session.revision =
+        static_cast<std::size_t>(session->uint_or("revision", 0));
+    r.session_reused = session->bool_or("reused", false);
+  }
+  // The serialized total is a sum over three solver runs; attributing
+  // it all to the initial report keeps job_matvecs() stable.
+  r.initial_report.solver.total_matvecs =
+      static_cast<std::size_t>(doc.uint_or("total_matvecs", 0));
+  // Stage timings: the writer emits stages in execution (enum) order,
+  // so rebuilding in kAllStages order restores the original sequence.
+  if (const util::JsonValue* stages = doc.find("stage_seconds")) {
+    for (const Stage stage : kAllStages) {
+      if (const util::JsonValue* sec = stages->find(stage_name(stage))) {
+        r.stage_timings.push_back(StageTiming{stage, sec->as_number()});
+      }
+    }
+  }
+  r.total_seconds = doc.number_or("total_seconds", 0.0);
+  return r;
 }
 
 void write_summary_json(const std::vector<PipelineResult>& results,

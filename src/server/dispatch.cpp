@@ -1,0 +1,82 @@
+#include "phes/server/dispatch.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace phes::server {
+
+DispatchPool::DispatchPool(std::size_t workers, std::size_t queue_capacity,
+                           Handler handler, Completion on_complete)
+    : capacity_(std::max<std::size_t>(1, queue_capacity)),
+      handler_(std::move(handler)),
+      on_complete_(std::move(on_complete)) {
+  const std::size_t count = std::max<std::size_t>(1, workers);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+DispatchPool::~DispatchPool() { stop(); }
+
+bool DispatchPool::try_submit(std::uint64_t conn_token, std::string line) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ || queue_.size() >= capacity_) {
+      ++rejected_;
+      return false;
+    }
+    queue_.push_back(Task{conn_token, std::move(line)});
+    ++submitted_;
+    peak_depth_ = std::max(peak_depth_, queue_.size());
+  }
+  work_available_.notify_one();
+  return true;
+}
+
+void DispatchPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;  // queued tasks are dropped on stop
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    RequestOutcome outcome = handler_(task.line);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++completed_;
+    }
+    on_complete_(task.conn_token, std::move(outcome));
+  }
+}
+
+void DispatchPool::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    queue_.clear();
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+DispatchStats DispatchPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DispatchStats s;
+  s.workers = workers_.size();
+  s.queue_depth = queue_.size();
+  s.peak_depth = peak_depth_;
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.rejected = rejected_;
+  return s;
+}
+
+}  // namespace phes::server

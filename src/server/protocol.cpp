@@ -1,8 +1,5 @@
 #include "phes/server/protocol.hpp"
 
-#include <cctype>
-#include <cmath>
-#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
@@ -11,258 +8,6 @@
 #include "phes/server/server.hpp"
 
 namespace phes::server {
-
-// ---- JsonValue --------------------------------------------------------
-
-struct JsonValue::Parser {
-  /// Nesting bound: parse_value recurses per '['/'{', and a server
-  /// must answer a hostile deeply-nested line with an error response,
-  /// not a stack overflow.  Protocol requests nest 2-3 levels deep.
-  static constexpr std::size_t kMaxDepth = 64;
-
-  const std::string& text;
-  std::size_t pos = 0;
-  std::size_t depth = 0;
-
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("JSON parse error at offset " +
-                             std::to_string(pos) + ": " + what);
-  }
-
-  void skip_ws() {
-    while (pos < text.size() &&
-           std::isspace(static_cast<unsigned char>(text[pos]))) {
-      ++pos;
-    }
-  }
-
-  char peek() {
-    if (pos >= text.size()) fail("unexpected end of input");
-    return text[pos];
-  }
-
-  void expect(char c) {
-    if (peek() != c) {
-      fail(std::string("expected '") + c + "', got '" + text[pos] + "'");
-    }
-    ++pos;
-  }
-
-  bool consume_literal(const char* lit) {
-    std::size_t i = 0;
-    while (lit[i] != '\0') {
-      if (pos + i >= text.size() || text[pos + i] != lit[i]) return false;
-      ++i;
-    }
-    pos += i;
-    return true;
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      if (pos >= text.size()) fail("unterminated string");
-      const char c = text[pos++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos >= text.size()) fail("unterminated escape");
-      const char esc = text[pos++];
-      switch (esc) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          if (pos + 4 > text.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text[pos++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code += 10u + (h - 'a');
-            else if (h >= 'A' && h <= 'F') code += 10u + (h - 'A');
-            else fail("bad \\u escape digit");
-          }
-          // Minimal UTF-8 encoding (surrogate pairs unsupported: the
-          // protocol's strings are paths/names, and the writer only
-          // emits \u for control characters).
-          if (code < 0x80) {
-            out += static_cast<char>(code);
-          } else if (code < 0x800) {
-            out += static_cast<char>(0xC0 | (code >> 6));
-            out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
-            out += static_cast<char>(0xE0 | (code >> 12));
-            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-            out += static_cast<char>(0x80 | (code & 0x3F));
-          }
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-  }
-
-  JsonValue parse_value() {
-    skip_ws();
-    JsonValue v;
-    const char c = peek();
-    if (c == 'n') {
-      if (!consume_literal("null")) fail("bad literal");
-      v.type_ = Type::kNull;
-    } else if (c == 't') {
-      if (!consume_literal("true")) fail("bad literal");
-      v.type_ = Type::kBool;
-      v.bool_ = true;
-    } else if (c == 'f') {
-      if (!consume_literal("false")) fail("bad literal");
-      v.type_ = Type::kBool;
-      v.bool_ = false;
-    } else if (c == '"') {
-      v.type_ = Type::kString;
-      v.string_ = parse_string();
-    } else if (c == '[') {
-      ++pos;
-      if (++depth > kMaxDepth) fail("nesting too deep");
-      v.type_ = Type::kArray;
-      skip_ws();
-      if (peek() == ']') {
-        ++pos;
-      } else {
-        for (;;) {
-          v.items_.push_back(parse_value());
-          skip_ws();
-          if (peek() == ',') {
-            ++pos;
-            continue;
-          }
-          expect(']');
-          break;
-        }
-      }
-      --depth;
-    } else if (c == '{') {
-      ++pos;
-      if (++depth > kMaxDepth) fail("nesting too deep");
-      v.type_ = Type::kObject;
-      skip_ws();
-      if (peek() == '}') {
-        ++pos;
-      } else {
-        for (;;) {
-          skip_ws();
-          std::string key = parse_string();
-          skip_ws();
-          expect(':');
-          v.members_.emplace_back(std::move(key), parse_value());
-          skip_ws();
-          if (peek() == ',') {
-            ++pos;
-            continue;
-          }
-          expect('}');
-          break;
-        }
-      }
-      --depth;
-    } else if (c == '-' || (c >= '0' && c <= '9')) {
-      const std::size_t start = pos;
-      if (peek() == '-') ++pos;
-      while (pos < text.size() &&
-             (std::isdigit(static_cast<unsigned char>(text[pos])) ||
-              text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
-              text[pos] == '+' || text[pos] == '-')) {
-        ++pos;
-      }
-      const std::string num = text.substr(start, pos - start);
-      try {
-        std::size_t used = 0;
-        v.number_ = std::stod(num, &used);
-        if (used != num.size()) fail("bad number '" + num + "'");
-      } catch (const std::exception&) {
-        fail("bad number '" + num + "'");
-      }
-      v.type_ = Type::kNumber;
-    } else {
-      fail(std::string("unexpected character '") + c + "'");
-    }
-    return v;
-  }
-};
-
-JsonValue JsonValue::parse(const std::string& text) {
-  Parser parser{text};
-  JsonValue v = parser.parse_value();
-  parser.skip_ws();
-  if (parser.pos != text.size()) parser.fail("trailing content");
-  return v;
-}
-
-bool JsonValue::as_bool() const {
-  if (type_ != Type::kBool) throw std::runtime_error("JSON: not a bool");
-  return bool_;
-}
-
-double JsonValue::as_number() const {
-  if (type_ != Type::kNumber) throw std::runtime_error("JSON: not a number");
-  return number_;
-}
-
-std::uint64_t JsonValue::as_uint() const {
-  const double n = as_number();
-  if (n < 0.0 || std::floor(n) != n) {
-    throw std::runtime_error("JSON: not a non-negative integer");
-  }
-  return static_cast<std::uint64_t>(n);
-}
-
-const std::string& JsonValue::as_string() const {
-  if (type_ != Type::kString) throw std::runtime_error("JSON: not a string");
-  return string_;
-}
-
-const std::vector<JsonValue>& JsonValue::items() const {
-  if (type_ != Type::kArray) throw std::runtime_error("JSON: not an array");
-  return items_;
-}
-
-const JsonValue* JsonValue::find(const std::string& key) const {
-  if (type_ != Type::kObject) return nullptr;
-  for (const auto& [k, v] : members_) {
-    if (k == key) return &v;
-  }
-  return nullptr;
-}
-
-bool JsonValue::bool_or(const std::string& key, bool fallback) const {
-  const JsonValue* v = find(key);
-  return v == nullptr ? fallback : v->as_bool();
-}
-
-double JsonValue::number_or(const std::string& key, double fallback) const {
-  const JsonValue* v = find(key);
-  return v == nullptr ? fallback : v->as_number();
-}
-
-std::uint64_t JsonValue::uint_or(const std::string& key,
-                                 std::uint64_t fallback) const {
-  const JsonValue* v = find(key);
-  return v == nullptr ? fallback : v->as_uint();
-}
-
-std::string JsonValue::string_or(const std::string& key,
-                                 const std::string& fallback) const {
-  const JsonValue* v = find(key);
-  return v == nullptr ? fallback : v->as_string();
-}
 
 // ---- Response composition ---------------------------------------------
 
@@ -290,7 +35,7 @@ std::string error_response(const std::string& message) {
 }
 
 /// The compact record used by `status` responses.
-std::string record_json(const ResultStore::JobSummary& record) {
+std::string record_json(const JobSummary& record) {
   std::ostringstream os;
   os << "{\"id\": " << record.id << ", \"name\": "
      << json_quote(record.name) << ", \"state\": \""
@@ -443,7 +188,8 @@ std::string handle_cancel(JobServer& server, const JsonValue& request) {
          ", \"cancelled\": " + (cancelled ? "true" : "false") + "}";
 }
 
-std::string handle_stats(JobServer& server) {
+std::string handle_stats(JobServer& server,
+                         const TransportSnapshotFn& snapshot) {
   const ServerStats stats = server.stats();
   std::ostringstream os;
   os << "{\"ok\": true, \"submitted\": " << stats.submitted
@@ -464,6 +210,28 @@ std::string handle_stats(JobServer& server) {
      << ", \"idle_sessions\": " << stats.pool.idle_sessions
      << ", \"leased_sessions\": " << stats.pool.leased_sessions
      << ", \"idle_bytes\": " << stats.pool.idle_bytes << "}";
+  os << ", \"store\": {\"durable\": "
+     << (stats.storage.durable ? "true" : "false")
+     << ", \"records\": " << stats.storage.records
+     << ", \"bytes\": " << stats.storage.bytes
+     << ", \"evicted\": " << stats.storage.evicted
+     << ", \"recovered\": " << stats.storage.recovered
+     << ", \"lost\": " << stats.storage.lost << "}";
+  if (snapshot) {
+    const TransportSnapshot t = snapshot();
+    os << ", \"transport\": {\"accepted\": " << t.accepted
+       << ", \"open_connections\": " << t.open_connections
+       << ", \"requests\": " << t.requests
+       << ", \"inline_requests\": " << t.inline_requests
+       << ", \"dispatched\": " << t.dispatched
+       << ", \"rejected\": " << t.rejected
+       << ", \"oversized_lines\": " << t.oversized_lines
+       << ", \"auth_failures\": " << t.auth_failures << "}";
+    os << ", \"dispatch\": {\"workers\": " << t.dispatch_workers
+       << ", \"queue_depth\": " << t.dispatch_queue_depth
+       << ", \"peak_depth\": " << t.dispatch_peak_depth
+       << ", \"completed\": " << t.dispatch_completed << "}";
+  }
   os << ", \"jobs\": {";
   for (std::size_t i = 0; i < stats.states.size(); ++i) {
     os << (i == 0 ? "" : ", ") << "\""
@@ -476,10 +244,21 @@ std::string handle_stats(JobServer& server) {
 
 }  // namespace
 
-RequestOutcome handle_request(JobServer& server, const std::string& line) {
+RequestOutcome handle_request(JobServer& server, const std::string& line,
+                              const TransportSnapshotFn& snapshot) {
+  try {
+    return handle_request(server, JsonValue::parse(line), snapshot);
+  } catch (const std::exception& e) {
+    RequestOutcome outcome;
+    outcome.response = error_response(e.what());
+    return outcome;
+  }
+}
+
+RequestOutcome handle_request(JobServer& server, const JsonValue& request,
+                              const TransportSnapshotFn& snapshot) {
   RequestOutcome outcome;
   try {
-    const JsonValue request = JsonValue::parse(line);
     const std::string op = request.string_or("op", "");
     if (op == "ping") {
       outcome.response = "{\"ok\": true, \"op\": \"ping\"}";
@@ -499,7 +278,7 @@ RequestOutcome handle_request(JobServer& server, const std::string& line) {
     } else if (op == "cancel") {
       outcome.response = handle_cancel(server, request);
     } else if (op == "stats") {
-      outcome.response = handle_stats(server);
+      outcome.response = handle_stats(server, snapshot);
     } else if (op == "shutdown") {
       outcome.shutdown_requested = true;
       outcome.drain = request.bool_or("drain", true);

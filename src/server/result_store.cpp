@@ -5,24 +5,11 @@
 
 namespace phes::server {
 
-const char* job_state_name(JobState state) noexcept {
-  switch (state) {
-    case JobState::kQueued: return "queued";
-    case JobState::kRunning: return "running";
-    case JobState::kDone: return "done";
-    case JobState::kFailed: return "failed";
-    case JobState::kCancelled: return "cancelled";
-  }
-  return "?";
-}
-
-bool is_terminal(JobState state) noexcept {
-  return state == JobState::kDone || state == JobState::kFailed ||
-         state == JobState::kCancelled;
-}
-
 ResultStore::ResultStore(std::size_t max_finished)
-    : max_finished_(std::max<std::size_t>(1, max_finished)) {}
+    : storage_(std::make_unique<MemoryStorage>(max_finished)) {}
+
+ResultStore::ResultStore(std::unique_ptr<Storage> storage)
+    : storage_(std::move(storage)) {}
 
 void ResultStore::add(std::uint64_t id, const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -31,6 +18,7 @@ void ResultStore::add(std::uint64_t id, const std::string& name) {
   rec.name = name;
   rec.state = JobState::kQueued;
   records_[id] = std::move(rec);
+  storage_->note_admitted(id, name);
 }
 
 bool ResultStore::mark_running(std::uint64_t id) {
@@ -51,18 +39,37 @@ void ResultStore::set_stage(std::uint64_t id, pipeline::Stage stage) {
   it->second.stage_known = true;
 }
 
+void ResultStore::finish_locked(
+    std::map<std::uint64_t, JobRecord>::iterator it, JobState state,
+    pipeline::PipelineResult result) {
+  JobRecord record = std::move(it->second);
+  record.state = state;
+  record.result = std::move(result);
+  // put() before erase, and never let a backend failure escape: this
+  // runs on worker threads with no catch above it, and a full disk
+  // must cost durability of one record, not the whole process.  On
+  // failure the terminal record stays in the live map — still served
+  // by get()/status(), just not persisted and never evicted.
+  try {
+    storage_->put(record);
+  } catch (const std::exception&) {
+    it->second = std::move(record);
+    return;
+  }
+  records_.erase(it);
+}
+
 void ResultStore::finish(std::uint64_t id, pipeline::PipelineResult result) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = records_.find(id);
-  if (it == records_.end()) return;
-  auto& rec = it->second;
-  if (is_terminal(rec.state)) return;  // lost race with a queued-cancel
-  rec.state = result.cancelled ? JobState::kCancelled
-              : result.ok      ? JobState::kDone
-                               : JobState::kFailed;
-  rec.result = std::move(result);
-  ++finished_;
-  evict_finished_locked();
+  // Absent from the live map: unknown id, or it already went terminal
+  // (lost race with a queued-cancel) — either way, drop.  A terminal
+  // record parked here by a storage failure is equally final.
+  if (it == records_.end() || is_terminal(it->second.state)) return;
+  const JobState state = result.cancelled ? JobState::kCancelled
+                         : result.ok      ? JobState::kDone
+                                          : JobState::kFailed;
+  finish_locked(it, state, std::move(result));
 }
 
 bool ResultStore::mark_cancelled(std::uint64_t id) {
@@ -71,51 +78,36 @@ bool ResultStore::mark_cancelled(std::uint64_t id) {
   if (it == records_.end() || it->second.state != JobState::kQueued) {
     return false;
   }
-  auto& rec = it->second;
-  rec.state = JobState::kCancelled;
   // Synthesize a minimal cancelled result so `result` ops stay uniform.
-  rec.result.name = rec.name;
-  rec.result.id = id;
-  rec.result.ok = false;
-  rec.result.cancelled = true;
-  rec.result.failed_stage = pipeline::Stage::kLoad;
-  rec.result.error = "cancelled while queued";
-  ++finished_;
-  evict_finished_locked();
+  pipeline::PipelineResult result;
+  result.name = it->second.name;
+  result.id = id;
+  result.ok = false;
+  result.cancelled = true;
+  result.failed_stage = pipeline::Stage::kLoad;
+  result.error = "cancelled while queued";
+  finish_locked(it, JobState::kCancelled, std::move(result));
   return true;
-}
-
-void ResultStore::evict_finished_locked() {
-  if (finished_ <= max_finished_) return;
-  for (auto it = records_.begin();
-       it != records_.end() && finished_ > max_finished_;) {
-    if (is_terminal(it->second.state)) {
-      it = records_.erase(it);
-      --finished_;
-    } else {
-      ++it;
-    }
-  }
 }
 
 std::optional<JobRecord> ResultStore::get(std::uint64_t id) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = records_.find(id);
-  if (it == records_.end()) return std::nullopt;
-  return it->second;
+  if (it != records_.end()) return it->second;
+  return storage_->get(id);
 }
 
 std::optional<JobState> ResultStore::state(std::uint64_t id) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = records_.find(id);
-  if (it == records_.end()) return std::nullopt;
-  return it->second.state;
+  if (it != records_.end()) return it->second.state;
+  return storage_->state(id);
 }
 
 namespace {
 
-ResultStore::JobSummary summarize(const JobRecord& rec) {
-  ResultStore::JobSummary s;
+JobSummary summarize(const JobRecord& rec) {
+  JobSummary s;
   s.id = rec.id;
   s.name = rec.name;
   s.state = rec.state;
@@ -131,30 +123,55 @@ std::optional<ResultStore::JobSummary> ResultStore::summary(
     std::uint64_t id) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = records_.find(id);
-  if (it == records_.end()) return std::nullopt;
-  return summarize(it->second);
+  if (it != records_.end()) return summarize(it->second);
+  return storage_->summary(id);
 }
 
 std::vector<ResultStore::JobSummary> ResultStore::summaries() const {
   std::lock_guard<std::mutex> lock(mutex_);
+  // Merge the two ascending-id sequences (terminal ids and live ids
+  // can interleave: job 3 may finish while job 2 still runs).
+  std::vector<JobSummary> stored = storage_->summaries();
   std::vector<JobSummary> out;
-  out.reserve(records_.size());
-  for (const auto& [id, rec] : records_) out.push_back(summarize(rec));
+  out.reserve(stored.size() + records_.size());
+  auto live = records_.begin();
+  auto done = stored.begin();
+  while (live != records_.end() || done != stored.end()) {
+    if (done == stored.end() ||
+        (live != records_.end() && live->first < done->id)) {
+      out.push_back(summarize(live->second));
+      ++live;
+    } else {
+      out.push_back(std::move(*done));
+      ++done;
+    }
+  }
   return out;
 }
 
 std::vector<JobRecord> ResultStore::all() const {
   std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JobRecord> stored = storage_->all();
   std::vector<JobRecord> out;
-  out.reserve(records_.size());
-  for (const auto& [id, rec] : records_) out.push_back(rec);
+  out.reserve(stored.size() + records_.size());
+  auto live = records_.begin();
+  auto done = stored.begin();
+  while (live != records_.end() || done != stored.end()) {
+    if (done == stored.end() ||
+        (live != records_.end() && live->first < done->id)) {
+      out.push_back(live->second);
+      ++live;
+    } else {
+      out.push_back(std::move(*done));
+      ++done;
+    }
+  }
   return out;
 }
 
 std::vector<std::size_t> ResultStore::state_counts() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<std::size_t> counts(
-      static_cast<std::size_t>(JobState::kCancelled) + 1, 0);
+  std::vector<std::size_t> counts = storage_->state_counts();
   for (const auto& [id, rec] : records_) {
     ++counts[static_cast<std::size_t>(rec.state)];
   }
@@ -163,7 +180,19 @@ std::vector<std::size_t> ResultStore::state_counts() const {
 
 std::size_t ResultStore::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return records_.size();
+  return records_.size() + storage_->size();
+}
+
+StorageStats ResultStore::storage_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return storage_->stats();
+}
+
+std::uint64_t ResultStore::max_seen_id() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t max_id = storage_->max_seen_id();
+  if (!records_.empty()) max_id = std::max(max_id, records_.rbegin()->first);
+  return max_id;
 }
 
 }  // namespace phes::server

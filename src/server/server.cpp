@@ -10,6 +10,16 @@ namespace phes::server {
 
 namespace {
 
+std::unique_ptr<Storage> make_storage(const ServerOptions& options) {
+  if (options.data_dir.empty()) {
+    return std::make_unique<MemoryStorage>(options.max_finished_records);
+  }
+  DiskStorageOptions disk;
+  disk.max_bytes = options.retain_bytes;
+  disk.ttl_seconds = options.retain_ttl_seconds;
+  return std::make_unique<DiskStorage>(options.data_dir, disk);
+}
+
 pipeline::ParallelismPlan server_plan(const ServerOptions& options) {
   // The queue bound doubles as the expected concurrency level: with a
   // full queue the server behaves like a batch of `queue_capacity`
@@ -33,9 +43,13 @@ JobServer::JobServer(ServerOptions options, pipeline::ParallelismPlan plan)
       worker_count_(plan.job_workers),
       solver_threads_(plan.solver_threads),
       queue_(options_.queue_capacity),
-      store_(options_.max_finished_records),
+      store_(make_storage(options_)),
       session_pool_(options_.pool),
       pool_(worker_count_) {
+  // A durable store may have recovered records from a previous process
+  // lifetime; new ids must continue above them, or a restart would
+  // reissue an id that still names a stored result.
+  next_id_.store(store_.max_seen_id() + 1, std::memory_order_relaxed);
   for (std::size_t i = 0; i < worker_count_; ++i) {
     pool_.submit([this] { worker_loop(); });
   }
@@ -240,6 +254,7 @@ ServerStats JobServer::stats() const {
   s.solver_threads = solver_threads_;
   s.queue = queue_.stats();
   s.pool = session_pool_.stats();
+  s.storage = store_.storage_stats();
   s.states = store_.state_counts();
   return s;
 }

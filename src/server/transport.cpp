@@ -18,7 +18,6 @@
 #include <utility>
 
 #include "net_util.hpp"
-#include "phes/server/protocol.hpp"
 #include "phes/server/server.hpp"
 
 namespace phes::server {
@@ -40,6 +39,18 @@ void set_nonblocking(int fd) {
 /// max_line_bytes — that would let a tokenless remote peer park MiBs
 /// per connection.
 constexpr std::size_t kPreAuthMaxLineBytes = 4096;
+
+/// Lines at most this long are parsed on the loop thread to check for
+/// a fast-path op; anything larger (inline submit payloads) goes to
+/// the pool without a speculative parse.
+constexpr std::size_t kFastPathMaxBytes = 4096;
+
+/// Ops safe to answer inline on the loop: everything except the
+/// submits, which can block on admission backpressure.
+bool is_fast_op(const JsonValue& request) {
+  const std::string op = request.string_or("op", "");
+  return op != "submit" && op != "submit_inline";
+}
 
 }  // namespace
 
@@ -249,6 +260,21 @@ void TransportServer::start() {
     epoll_fd_ = wake_fd_ = reserve_fd_ = -1;
     throw;
   }
+  if (limits_.dispatch_workers > 0) {
+    dispatch_pool_ = std::make_unique<DispatchPool>(
+        limits_.dispatch_workers, limits_.dispatch_queue_capacity,
+        [this](const std::string& line) {
+          return handle_request(server_, line,
+                                [this] { return snapshot(); });
+        },
+        [this](std::uint64_t token, RequestOutcome outcome) {
+          {
+            std::lock_guard<std::mutex> lock(completions_mutex_);
+            completions_.emplace_back(token, std::move(outcome));
+          }
+          notify_loop();
+        });
+  }
   started_ = true;
   loop_thread_ = std::thread([this] { loop(); });
 }
@@ -256,10 +282,12 @@ void TransportServer::start() {
 void TransportServer::stop() {
   if (!started_) return;
   if (!stopping_.exchange(true)) {
-    const std::uint64_t one = 1;
     // The only cross-thread poke: the loop owns every other resource.
-    (void)!::write(wake_fd_, &one, sizeof one);
+    notify_loop();
     if (loop_thread_.joinable()) loop_thread_.join();
+    // Join the pool before closing fds: workers may still push
+    // completions and poke the (still-open) eventfd while finishing.
+    if (dispatch_pool_) dispatch_pool_->stop();
     for (auto& [fd, conn] : connections_) {
       ::shutdown(fd, SHUT_RDWR);
       ::close(fd);
@@ -269,6 +297,7 @@ void TransportServer::stop() {
       stats_.open_connections = 0;
     }
     connections_.clear();
+    token_to_fd_.clear();
     for (std::size_t i = 0; i < listen_fds_.size(); ++i) {
       ::close(listen_fds_[i]);
       transports_[i]->close_listener();
@@ -282,6 +311,11 @@ void TransportServer::stop() {
   }
 }
 
+void TransportServer::notify_loop() {
+  const std::uint64_t one = 1;
+  if (wake_fd_ >= 0) (void)!::write(wake_fd_, &one, sizeof one);
+}
+
 void TransportServer::loop() {
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
@@ -293,7 +327,15 @@ void TransportServer::loop() {
     }
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
-      if (fd == wake_fd_) return;  // stop() requested
+      if (fd == wake_fd_) {
+        // Completions and stop() share the eventfd; drain the counter,
+        // apply finished outcomes, and only exit when stop() asked.
+        std::uint64_t count = 0;
+        (void)!::read(wake_fd_, &count, sizeof count);
+        if (stopping_.load(std::memory_order_acquire)) return;
+        drain_completions();
+        continue;
+      }
       bool is_listener = false;
       for (std::size_t t = 0; t < listen_fds_.size(); ++t) {
         if (fd == listen_fds_[t]) {
@@ -341,9 +383,11 @@ void TransportServer::accept_ready(std::size_t listener_index) {
     }
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
+    conn->token = ++next_token_;
     conn->transport = transports_[listener_index].get();
     conn->transport->configure_connection(fd);
     conn->authed = !conn->transport->requires_auth();
+    conn->armed_events = EPOLLIN;
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
@@ -351,6 +395,7 @@ void TransportServer::accept_ready(std::size_t listener_index) {
       ::close(fd);
       continue;
     }
+    token_to_fd_[conn->token] = fd;
     connections_.emplace(fd, std::move(conn));
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.accepted;
@@ -377,12 +422,14 @@ void TransportServer::read_ready(Connection& conn) {
     process_buffer(conn);
     if (connections_.count(fd) == 0) return;  // closed while processing
     if (conn.close_after_flush) break;        // stop reading more input
+    if (conn.paused) break;  // flow control: resume after the backlog
   }
 }
 
 void TransportServer::process_buffer(Connection& conn) {
   const int fd = conn.fd;
   for (;;) {
+    if (conn.paused) return;  // backlog bound hit; resumed by the drain
     // Recomputed per line: the limit widens once the auth line passed.
     const std::size_t max_line =
         conn.authed ? limits_.max_line_bytes : kPreAuthMaxLineBytes;
@@ -445,7 +492,6 @@ void TransportServer::reject_oversized(Connection& conn,
 }
 
 void TransportServer::handle_line(Connection& conn, const std::string& line) {
-  const int fd = conn.fd;
   if (!conn.authed) {
     // First line on an authenticated transport MUST be the auth op.
     bool ok = false;
@@ -477,9 +523,59 @@ void TransportServer::handle_line(Connection& conn, const std::string& line) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.requests;
   }
-  // NOTE: runs on the event-loop thread; a submit hitting a full queue
-  // blocks here until a worker frees a slot (global backpressure).
-  const RequestOutcome outcome = handle_request(server_, line);
+  if (!dispatch_pool_) {
+    // Inline mode (dispatch_workers == 0): a submit hitting a full
+    // queue blocks the loop here until a worker frees a slot.
+    handle_inline(conn, line);
+    return;
+  }
+  // Fast path: cheap ops on an idle connection skip the pool — but
+  // never overtake a queued request (per-connection response order).
+  // The line is parsed once here and the document reused by the
+  // handler; lines that do not parse are also answered inline (the
+  // error response is immediate).
+  const bool busy = conn.inflight || !conn.pending.empty();
+  if (!busy && line.size() <= kFastPathMaxBytes) {
+    bool parsed = false;
+    JsonValue request;
+    try {
+      request = JsonValue::parse(line);
+      parsed = true;
+    } catch (const std::exception&) {
+    }
+    if (!parsed || is_fast_op(request)) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.inline_requests;
+      }
+      finish_outcome(conn, parsed ? handle_request(server_, request,
+                                                   [this] {
+                                                     return snapshot();
+                                                   })
+                                  : handle_request(server_, line));
+      return;
+    }
+  }
+  const int fd = conn.fd;  // conn may be destroyed inside the pump
+  conn.pending.push_back(line);
+  pump_dispatch(conn);
+  if (connections_.count(fd) == 0) return;
+  if (!conn.paused &&
+      conn.pending.size() >= limits_.max_pipelined_requests) {
+    conn.paused = true;  // park the read side; drain resumes it
+    update_epoll(conn);
+  }
+}
+
+void TransportServer::handle_inline(Connection& conn,
+                                    const std::string& line) {
+  finish_outcome(conn,
+                 handle_request(server_, line, [this] { return snapshot(); }));
+}
+
+void TransportServer::finish_outcome(Connection& conn,
+                                     const RequestOutcome& outcome) {
+  const int fd = conn.fd;
   if (!outcome.shutdown_requested) {
     enqueue(conn, outcome.response);
     return;
@@ -493,6 +589,78 @@ void TransportServer::handle_line(Connection& conn, const std::string& line) {
     if (connections_.count(fd) != 0) close_connection(fd);
   }
   note_shutdown(outcome.drain);
+}
+
+void TransportServer::pump_dispatch(Connection& conn) {
+  // Saved before any enqueue(): a write failure (or out-buffer bound)
+  // inside it destroys the Connection, and `conn` must not be touched
+  // once connections_ no longer holds this fd.
+  const int fd = conn.fd;
+  while (!conn.inflight && !conn.pending.empty()) {
+    if (dispatch_pool_->try_submit(conn.token, conn.pending.front())) {
+      conn.pending.pop_front();
+      conn.inflight = true;
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.dispatched;
+      return;
+    }
+    // Pool queue full: answer in order rather than stalling the loop.
+    conn.pending.pop_front();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.rejected;
+    }
+    enqueue(conn, "{\"ok\": false, \"error\": \"server overloaded: "
+                  "dispatch queue full\"}");
+    if (connections_.count(fd) == 0) return;  // conn destroyed
+  }
+}
+
+void TransportServer::drain_completions() {
+  std::deque<std::pair<std::uint64_t, RequestOutcome>> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    batch.swap(completions_);
+  }
+  for (auto& [token, outcome] : batch) {
+    Connection* conn = nullptr;
+    const auto token_it = token_to_fd_.find(token);
+    if (token_it != token_to_fd_.end()) {
+      const auto it = connections_.find(token_it->second);
+      if (it != connections_.end()) conn = it->second.get();
+    }
+    if (outcome.shutdown_requested) {
+      // A shutdown op that queued behind a submit: honour it even if
+      // the requesting connection is already gone.
+      if (conn != nullptr) {
+        conn->inflight = false;
+        conn->close_after_flush = true;
+        const int fd = conn->fd;
+        enqueue(*conn, outcome.response);
+        if (connections_.count(fd) != 0) {
+          flush_blocking(*conn);
+          if (connections_.count(fd) != 0) close_connection(fd);
+        }
+      }
+      note_shutdown(outcome.drain);
+      continue;
+    }
+    if (conn == nullptr) continue;  // connection closed mid-flight
+    conn->inflight = false;
+    const int fd = conn->fd;
+    enqueue(*conn, outcome.response);
+    if (connections_.count(fd) == 0) continue;
+    pump_dispatch(*conn);
+    if (connections_.count(fd) == 0) continue;
+    if (conn->paused &&
+        conn->pending.size() < limits_.max_pipelined_requests) {
+      // Resume reading and frame whatever buffered while parked (no
+      // EPOLLIN will fire for bytes already consumed off the socket).
+      conn->paused = false;
+      update_epoll(*conn);
+      process_buffer(*conn);
+    }
+  }
 }
 
 void TransportServer::enqueue(Connection& conn,
@@ -561,12 +729,14 @@ void TransportServer::flush_blocking(Connection& conn) {
 }
 
 void TransportServer::update_epoll(Connection& conn) {
-  const bool pending = conn.out_off < conn.out.size();
-  if (pending == conn.want_write) return;
-  conn.want_write = pending;
+  const bool pending_out = conn.out_off < conn.out.size();
+  const bool want_read = !conn.close_after_flush && !conn.paused;
+  const auto desired = static_cast<std::uint32_t>(
+      (want_read ? EPOLLIN : 0u) | (pending_out ? EPOLLOUT : 0u));
+  if (desired == conn.armed_events) return;
+  conn.armed_events = desired;
   epoll_event ev{};
-  ev.events = static_cast<std::uint32_t>(
-      (conn.close_after_flush ? 0u : EPOLLIN) | (pending ? EPOLLOUT : 0u));
+  ev.events = desired;
   ev.data.fd = conn.fd;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
 }
@@ -574,6 +744,7 @@ void TransportServer::update_epoll(Connection& conn) {
 void TransportServer::close_connection(int fd) {
   const auto it = connections_.find(fd);
   if (it == connections_.end()) return;
+  token_to_fd_.erase(it->second->token);
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);
   connections_.erase(it);
@@ -605,6 +776,33 @@ bool TransportServer::shutdown_requested() const {
 TransportStats TransportServer::stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   return stats_;
+}
+
+DispatchStats TransportServer::dispatch_stats() const {
+  return dispatch_pool_ ? dispatch_pool_->stats() : DispatchStats{};
+}
+
+TransportSnapshot TransportServer::snapshot() const {
+  TransportSnapshot s;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    s.accepted = stats_.accepted;
+    s.open_connections = stats_.open_connections;
+    s.requests = stats_.requests;
+    s.inline_requests = stats_.inline_requests;
+    s.dispatched = stats_.dispatched;
+    s.rejected = stats_.rejected;
+    s.oversized_lines = stats_.oversized_lines;
+    s.auth_failures = stats_.auth_failures;
+  }
+  if (dispatch_pool_) {
+    const DispatchStats d = dispatch_pool_->stats();
+    s.dispatch_workers = d.workers;
+    s.dispatch_queue_depth = d.queue_depth;
+    s.dispatch_peak_depth = d.peak_depth;
+    s.dispatch_completed = d.completed;
+  }
+  return s;
 }
 
 }  // namespace phes::server

@@ -44,43 +44,9 @@ PipelineJob quick_job(const char* name, std::uint64_t seed) {
   return job;
 }
 
-/// Blocks one specific job when it starts `gate_stage`, until the test
-/// releases it — the deterministic "in flight" hook.
-class StageGate {
- public:
-  void arm(std::uint64_t id, Stage stage) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    armed_id_ = id;
-    stage_ = stage;
-  }
-
-  void operator()(std::uint64_t id, Stage stage) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (id != armed_id_ || stage != stage_) return;
-    blocked_ = true;
-    cv_.notify_all();
-    cv_.wait(lock, [&] { return released_; });
-  }
-
-  void wait_blocked() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return blocked_; });
-  }
-
-  void release() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    released_ = true;
-    cv_.notify_all();
-  }
-
- private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::uint64_t armed_id_ = 0;
-  Stage stage_ = Stage::kLoad;
-  bool blocked_ = false;
-  bool released_ = false;
-};
+// The deterministic "in flight" hook, shared with the dispatch suite
+// and the dispatch-latency bench.
+using test::StageGate;
 
 TEST(ServerCancel, QueuedJobIsCancelledAndNeverRuns) {
   JobServer jobs(one_worker_options());

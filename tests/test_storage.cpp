@@ -1,0 +1,382 @@
+// The pluggable result-storage layer: write_job_json/read_job_json
+// round-trip stability (the property that makes recovered `result`
+// responses byte-identical), MemoryStorage retention, DiskStorage
+// persistence + crash recovery (journal replay, lost-job synthesis,
+// byte-budget and TTL eviction), and the ResultStore facade over a
+// durable backend.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "phes/pipeline/job.hpp"
+#include "phes/pipeline/report.hpp"
+#include "phes/server/result_store.hpp"
+#include "phes/server/storage.hpp"
+#include "test_support.hpp"
+
+namespace phes {
+namespace {
+
+namespace fs = std::filesystem;
+
+using pipeline::PipelineResult;
+using pipeline::Stage;
+using server::DiskStorage;
+using server::DiskStorageOptions;
+using server::JobRecord;
+using server::JobState;
+using server::MemoryStorage;
+
+std::string job_json(const PipelineResult& result) {
+  std::ostringstream os;
+  pipeline::write_job_json(result, os);
+  return os.str();
+}
+
+/// A fully-populated successful result with awkward double values.
+PipelineResult sample_result(std::uint64_t id) {
+  PipelineResult r;
+  r.name = "model-\"q\"\n.s2p";  // escaping must survive the round trip
+  r.id = id;
+  r.ok = true;
+  r.completed = true;
+  r.sample_count = 160;
+  r.ports = 2;
+  r.order = 24;
+  r.fit_rms = 1.23456789e-4;
+  r.fit_iterations = 9;  // NOT serialized; lost by design
+  r.initial_report.bands.resize(2);
+  r.initial_report.bands[0].sigma_peak = 1.05;  // only .size() survives
+  r.initial_report.solver.total_matvecs = 4321;
+  r.enforcement_run = true;
+  r.enforcement.iterations = 3;
+  r.enforcement.characterizations = 4;
+  r.enforcement.relative_model_change = 0.00123456789;
+  r.certified_passive = true;
+  r.session.cache.hits = 7;
+  r.session.cache.misses = 11;
+  r.session.cache.evictions = 1;
+  r.session.factorizations = 13;
+  r.session.solves = 5;
+  r.session.warm_solves = 4;
+  r.session.revision = 3;
+  r.session_reused = true;
+  double t = 0.0123456789;
+  for (const Stage stage :
+       {Stage::kLoad, Stage::kFit, Stage::kRealize, Stage::kCharacterize,
+        Stage::kEnforce, Stage::kVerify}) {
+    r.stage_timings.push_back({stage, t});
+    r.total_seconds += t;
+    t *= 3.14159;
+  }
+  return r;
+}
+
+PipelineResult failed_result(std::uint64_t id) {
+  PipelineResult r;
+  r.name = "broken.s4p";
+  r.id = id;
+  r.ok = false;
+  r.error = "fit diverged: rms 1e+9 > bound\n(line 42)";
+  r.failed_stage = Stage::kFit;
+  r.stage_timings.push_back({Stage::kLoad, 0.001});
+  r.total_seconds = 0.002;
+  r.sample_count = 40;
+  r.ports = 4;
+  return r;
+}
+
+PipelineResult cancelled_result(std::uint64_t id) {
+  PipelineResult r;
+  r.name = "cancelled.txt";
+  r.id = id;
+  r.ok = false;
+  r.cancelled = true;
+  r.error = "cancelled";
+  r.failed_stage = Stage::kRealize;
+  r.stage_timings.push_back({Stage::kLoad, 0.5});
+  r.stage_timings.push_back({Stage::kFit, 1.5});
+  r.total_seconds = 2.0;
+  return r;
+}
+
+using test::TempDir;
+
+JobRecord make_record(PipelineResult result, JobState state) {
+  JobRecord rec;
+  rec.id = result.id;
+  rec.name = result.name;
+  rec.state = state;
+  rec.stage = Stage::kVerify;
+  rec.stage_known = true;
+  rec.result = std::move(result);
+  return rec;
+}
+
+// ---- JSON round trip --------------------------------------------------
+
+TEST(ReportReader, RoundTripIsByteStableForAllResultShapes) {
+  for (const PipelineResult& original :
+       {sample_result(1), failed_result(2), cancelled_result(3),
+        PipelineResult{}}) {
+    const std::string once = job_json(original);
+    const PipelineResult reread = pipeline::read_job_json(once);
+    EXPECT_EQ(job_json(reread), once) << once;
+    // And the reader is idempotent, not just write-stable.
+    EXPECT_EQ(job_json(pipeline::read_job_json(job_json(reread))), once);
+  }
+}
+
+TEST(ReportReader, RoundTripOnARealPipelineRun) {
+  pipeline::PipelineJob job;
+  job.name = "real";
+  job.samples = test::non_passive_samples(7);
+  job.options.fit.num_poles = 12;
+  job.options.solver.threads = 1;
+  const PipelineResult result = run_pipeline(job);
+  ASSERT_TRUE(result.ok) << result.error;
+  const std::string once = job_json(result);
+  EXPECT_EQ(job_json(pipeline::read_job_json(once)), once);
+}
+
+TEST(ReportReader, ReconstructsSemanticFields) {
+  const PipelineResult reread =
+      pipeline::read_job_json(job_json(sample_result(42)));
+  EXPECT_EQ(reread.id, 42u);
+  EXPECT_EQ(reread.name, "model-\"q\"\n.s2p");
+  EXPECT_TRUE(reread.ok);
+  EXPECT_EQ(reread.status(), "enforced");
+  EXPECT_EQ(reread.initial_report.bands.size(), 2u);
+  EXPECT_EQ(reread.stage_timings.size(), 6u);
+  EXPECT_EQ(reread.session.cache.hits, 7u);
+  EXPECT_TRUE(reread.session_reused);
+
+  const PipelineResult failed =
+      pipeline::read_job_json(job_json(failed_result(9)));
+  EXPECT_EQ(failed.status(), "failed@fit");
+  EXPECT_EQ(failed.error, "fit diverged: rms 1e+9 > bound\n(line 42)");
+
+  EXPECT_THROW((void)pipeline::read_job_json("not json"),
+               std::runtime_error);
+  EXPECT_THROW((void)pipeline::read_job_json("[1, 2]"),
+               std::runtime_error);
+}
+
+// ---- MemoryStorage ----------------------------------------------------
+
+TEST(MemoryStorage, EvictsOldestPastCap) {
+  MemoryStorage storage(2);
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    storage.put(make_record(sample_result(id), JobState::kDone));
+  }
+  EXPECT_EQ(storage.size(), 2u);
+  EXPECT_FALSE(storage.get(1).has_value());
+  EXPECT_FALSE(storage.get(2).has_value());
+  EXPECT_TRUE(storage.get(3).has_value());
+  EXPECT_TRUE(storage.get(4).has_value());
+  EXPECT_EQ(storage.stats().evicted, 2u);
+  EXPECT_FALSE(storage.stats().durable);
+}
+
+// ---- DiskStorage ------------------------------------------------------
+
+TEST(DiskStorage, PutGetServesTheExactRecord) {
+  TempDir dir("putget");
+  DiskStorage storage(dir.path);
+  const JobRecord original = make_record(sample_result(5), JobState::kDone);
+  storage.put(original);
+
+  const auto fetched = storage.get(5);
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(fetched->name, original.name);
+  EXPECT_EQ(fetched->state, JobState::kDone);
+  EXPECT_TRUE(fetched->stage_known);
+  EXPECT_EQ(fetched->stage, Stage::kVerify);
+  EXPECT_EQ(job_json(fetched->result), job_json(original.result));
+
+  const auto summary = storage.summary(5);
+  ASSERT_TRUE(summary.has_value());
+  EXPECT_EQ(summary->status, original.result.status());
+  EXPECT_EQ(storage.stats().records, 1u);
+  EXPECT_GT(storage.stats().bytes, 0u);
+  EXPECT_TRUE(storage.stats().durable);
+}
+
+TEST(DiskStorage, RecoversRecordsAcrossInstances) {
+  TempDir dir("recover");
+  std::string done_json, failed_json;
+  {
+    DiskStorage storage(dir.path);
+    JobRecord done = make_record(sample_result(1), JobState::kDone);
+    JobRecord failed = make_record(failed_result(2), JobState::kFailed);
+    storage.put(done);
+    storage.put(failed);
+    done_json = job_json(storage.get(1)->result);
+    failed_json = job_json(storage.get(2)->result);
+  }
+  DiskStorage reopened(dir.path);
+  EXPECT_EQ(reopened.stats().recovered, 2u);
+  EXPECT_EQ(reopened.stats().lost, 0u);
+  EXPECT_EQ(reopened.max_seen_id(), 2u);
+  ASSERT_TRUE(reopened.get(1).has_value());
+  // Byte-identical payloads: the acceptance property behind restart-
+  // stable `result` responses.
+  EXPECT_EQ(job_json(reopened.get(1)->result), done_json);
+  EXPECT_EQ(job_json(reopened.get(2)->result), failed_json);
+  EXPECT_EQ(reopened.state(2), JobState::kFailed);
+  EXPECT_EQ(reopened.summaries().size(), 2u);
+}
+
+TEST(DiskStorage, AdmittedButUnfinishedJobsComeBackAsLost) {
+  TempDir dir("lost");
+  {
+    DiskStorage storage(dir.path);
+    storage.note_admitted(7, "ghost.s2p");
+    storage.put(make_record(sample_result(3), JobState::kDone));
+    // id 7 never finishes: the process "crashes" here.
+  }
+  DiskStorage reopened(dir.path);
+  EXPECT_EQ(reopened.stats().lost, 1u);
+  EXPECT_EQ(reopened.state(7), JobState::kFailed);
+  const auto record = reopened.get(7);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->name, "ghost.s2p");
+  EXPECT_FALSE(record->result.ok);
+  EXPECT_NE(record->result.error.find("lost in server restart"),
+            std::string::npos);
+  EXPECT_EQ(reopened.max_seen_id(), 7u);
+  // The lost verdict is itself durable: a third open has no pending
+  // adds and serves the same failed record.
+  DiskStorage third(dir.path);
+  EXPECT_EQ(third.stats().lost, 0u);
+  EXPECT_EQ(third.state(7), JobState::kFailed);
+}
+
+TEST(DiskStorage, ByteBudgetEvictsOldestFirst) {
+  TempDir dir("bytes");
+  DiskStorageOptions options;
+  options.max_bytes = 3000;  // records are ~700-900 bytes each
+  DiskStorage storage(dir.path, options);
+  for (std::uint64_t id = 1; id <= 10; ++id) {
+    storage.put(make_record(sample_result(id), JobState::kDone));
+  }
+  EXPECT_LT(storage.size(), 10u);
+  EXPECT_LE(storage.stats().bytes, options.max_bytes);
+  EXPECT_GT(storage.stats().evicted, 0u);
+  EXPECT_FALSE(storage.get(1).has_value()) << "oldest evicted first";
+  EXPECT_TRUE(storage.get(10).has_value()) << "newest retained";
+  // The budget survives recovery too.
+  DiskStorage reopened(dir.path, options);
+  EXPECT_LE(reopened.stats().bytes, options.max_bytes);
+  EXPECT_TRUE(reopened.get(10).has_value());
+}
+
+TEST(DiskStorage, TtlPurgesExpiredRecords) {
+  TempDir dir("ttl");
+  DiskStorageOptions options;
+  options.ttl_seconds = 0.05;
+  DiskStorage storage(dir.path, options);
+  storage.put(make_record(sample_result(1), JobState::kDone));
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  storage.put(make_record(sample_result(2), JobState::kDone));
+  EXPECT_FALSE(storage.get(1).has_value()) << "expired record purged";
+  EXPECT_TRUE(storage.get(2).has_value());
+}
+
+TEST(DiskStorage, SalvagesPayloadWhoseFinishEventNeverMadeTheJournal) {
+  TempDir dir("salvage");
+  std::string payload_json;
+  {
+    DiskStorage storage(dir.path);
+    storage.put(make_record(sample_result(4), JobState::kDone));
+    payload_json = job_json(storage.get(4)->result);
+  }
+  {
+    // Simulate a crash (or failed append) between the payload write
+    // and the finish event: the journal holds only the admission.
+    std::ofstream index(fs::path(dir.path) / "index.ndjson",
+                        std::ios::trunc | std::ios::binary);
+    index << "{\"event\": \"add\", \"id\": 4, \"name\": \"m\"}\n";
+  }
+  DiskStorage reopened(dir.path);
+  // The intact payload must be salvaged, never overwritten as lost.
+  EXPECT_EQ(reopened.stats().lost, 0u);
+  EXPECT_EQ(reopened.stats().recovered, 1u);
+  EXPECT_EQ(reopened.state(4), JobState::kDone);
+  EXPECT_EQ(job_json(reopened.get(4)->result), payload_json);
+}
+
+TEST(DiskStorage, ToleratesATornJournalTail) {
+  TempDir dir("torn");
+  {
+    DiskStorage storage(dir.path);
+    storage.put(make_record(sample_result(1), JobState::kDone));
+  }
+  {
+    // Simulate a crash mid-append: garbage half-line at the tail.
+    std::ofstream index(fs::path(dir.path) / "index.ndjson",
+                        std::ios::app | std::ios::binary);
+    index << "{\"event\": \"finish\", \"id\": 2, \"na";
+  }
+  DiskStorage reopened(dir.path);
+  EXPECT_EQ(reopened.stats().recovered, 1u);
+  EXPECT_TRUE(reopened.get(1).has_value());
+}
+
+// ---- ResultStore over a durable backend -------------------------------
+
+TEST(ResultStoreDurable, LifecycleSpillsTerminalRecordsToDisk) {
+  TempDir dir("store");
+  {
+    server::ResultStore store(std::make_unique<DiskStorage>(dir.path));
+    store.add(1, "a");
+    store.add(2, "b");
+    EXPECT_TRUE(store.mark_running(1));
+    store.set_stage(1, Stage::kCharacterize);
+    PipelineResult result = sample_result(1);
+    store.finish(1, std::move(result));
+    EXPECT_TRUE(store.mark_cancelled(2));
+    EXPECT_EQ(store.get(1)->state, JobState::kDone);
+    EXPECT_EQ(store.get(2)->state, JobState::kCancelled);
+    EXPECT_EQ(store.size(), 2u);
+  }
+  server::ResultStore reopened(std::make_unique<DiskStorage>(dir.path));
+  EXPECT_EQ(reopened.max_seen_id(), 2u);
+  EXPECT_EQ(reopened.get(1)->state, JobState::kDone);
+  EXPECT_EQ(reopened.get(1)->result.status(), "enforced");
+  EXPECT_EQ(reopened.get(2)->state, JobState::kCancelled);
+  EXPECT_TRUE(reopened.get(2)->result.cancelled);
+  const auto counts = reopened.state_counts();
+  EXPECT_EQ(counts[static_cast<std::size_t>(JobState::kDone)], 1u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(JobState::kCancelled)], 1u);
+}
+
+TEST(ResultStoreDurable, SummariesMergeLiveAndStoredAscending) {
+  TempDir dir("merge");
+  server::ResultStore store(std::make_unique<DiskStorage>(dir.path));
+  store.add(1, "done");
+  store.add(2, "still-queued");
+  store.add(3, "also-done");
+  store.finish(1, sample_result(1));
+  store.finish(3, sample_result(3));
+  const auto summaries = store.summaries();
+  ASSERT_EQ(summaries.size(), 3u);
+  EXPECT_EQ(summaries[0].id, 1u);
+  EXPECT_EQ(summaries[0].state, JobState::kDone);
+  EXPECT_EQ(summaries[1].id, 2u);
+  EXPECT_EQ(summaries[1].state, JobState::kQueued);
+  EXPECT_EQ(summaries[2].id, 3u);
+}
+
+}  // namespace
+}  // namespace phes

@@ -3,13 +3,20 @@
 // comparison, and the seeded synthetic-model fixtures used by the
 // engine/pipeline/server tests and the session-reuse bench.
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <complex>
+#include <condition_variable>
 #include <cstdint>
+#include <filesystem>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "phes/la/blas.hpp"
+#include "phes/pipeline/job.hpp"
 #include "phes/la/matrix.hpp"
 #include "phes/la/types.hpp"
 #include "phes/macromodel/generator.hpp"
@@ -166,5 +173,66 @@ inline std::string fixture_path(const std::string& name) {
   return "tests/data/" + name;
 #endif
 }
+
+/// RAII scratch directory under the system temp dir, unique per
+/// (tag, pid, instance); any pre-existing leftover is cleared so a
+/// crashed earlier run cannot leak state into this one.
+struct TempDir {
+  explicit TempDir(const char* tag) {
+    static std::atomic<int> counter{0};
+    path = (std::filesystem::temp_directory_path() /
+            ("phes_test_" + std::string(tag) + "_" +
+             std::to_string(::getpid()) + "_" +
+             std::to_string(++counter)))
+               .string();
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+/// Blocks one specific job when it starts `gate_stage`, until the test
+/// releases it — the deterministic "in flight" hook for the server
+/// suites and the dispatch-latency bench (wired in through
+/// JobServer::set_stage_observer).
+class StageGate {
+ public:
+  void arm(std::uint64_t id, pipeline::Stage stage) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    armed_id_ = id;
+    stage_ = stage;
+  }
+
+  void operator()(std::uint64_t id, pipeline::Stage stage) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (id != armed_id_ || stage != stage_) return;
+    blocked_ = true;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return released_; });
+  }
+
+  void wait_blocked() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return blocked_; });
+  }
+
+  void release() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t armed_id_ = 0;
+  pipeline::Stage stage_ = pipeline::Stage::kLoad;
+  bool blocked_ = false;
+  bool released_ = false;
+};
 
 }  // namespace phes::test
