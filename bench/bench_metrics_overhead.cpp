@@ -1,0 +1,134 @@
+// bench_metrics_overhead — ctest-registered smoke target for the
+// observability layer's hot-path cost: protocol round-trips against a
+// fully instrumented server must not regress measurably versus the
+// same server with its MetricsRegistry kill switch thrown.
+//
+// Method: alternate enabled/disabled passes of ping/status round-trips
+// over the real AF_UNIX transport (interleaving cancels slow drift —
+// CPU frequency, page cache — that back-to-back blocks would alias
+// into the comparison), then compare the best pass mean per mode.
+// Min-of-means is the standard low-noise estimator here: the fastest
+// pass is the one least disturbed by the OS, and instrumentation cost
+// is a constant per request, so it survives in every pass including
+// the fastest.
+//
+// Prints one BENCH-friendly JSON line and exits non-zero when the
+// instrumented path is more than 5% (plus a 2 µs absolute guard for
+// timer noise on sub-50 µs round-trips) slower than the disabled one.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "phes/server/server.hpp"
+#include "phes/server/socket.hpp"
+#include "phes/server/transport.hpp"
+#include "phes/util/metrics.hpp"
+
+namespace {
+
+using namespace phes;
+
+int failures = 0;
+
+void expect(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what);
+    ++failures;
+  }
+}
+
+/// Mean round-trip milliseconds over `count` requests on `client`.
+double pass_mean_ms(server::Client& client, std::size_t count) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string response = client.request(
+        i % 2 == 0 ? "{\"op\": \"ping\"}" : "{\"op\": \"status\"}");
+    expect(response.find("\"ok\": true") != std::string::npos,
+           "round-trip ok");
+  }
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+             .count() /
+         static_cast<double>(count);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+
+  server::ServerOptions options;
+  options.workers = 1;
+  options.solver_threads = 1;
+  options.queue_capacity = 4;
+  server::JobServer jobs(options);
+
+  const std::string socket_path =
+      "/tmp/phes_bench_metrics_" + std::to_string(::getpid()) + ".sock";
+  server::TransportServer transport(
+      jobs, std::make_unique<server::UnixTransport>(socket_path));
+  transport.start();
+
+  constexpr std::size_t kPasses = 7;        // per mode
+  constexpr std::size_t kRoundTrips = 400;  // per pass
+
+  server::Client client(socket_path);
+  (void)pass_mean_ms(client, kRoundTrips);  // warm-up (both paths hot)
+
+  std::vector<double> enabled_means;
+  std::vector<double> disabled_means;
+  for (std::size_t pass = 0; pass < kPasses; ++pass) {
+    jobs.metrics_registry().set_enabled(true);
+    enabled_means.push_back(pass_mean_ms(client, kRoundTrips));
+    jobs.metrics_registry().set_enabled(false);
+    disabled_means.push_back(pass_mean_ms(client, kRoundTrips));
+  }
+  jobs.metrics_registry().set_enabled(true);
+
+  // The kill switch must actually have frozen the counters while it
+  // was off, or the comparison above measured nothing.
+  const auto snapshot = jobs.metrics_snapshot();
+  const std::uint64_t requests =
+      snapshot.counters.at("phes_transport_requests_total");
+  expect(requests >= (kPasses + 1) * kRoundTrips,
+         "enabled passes were counted");
+  expect(requests < (2 * kPasses + 1) * kRoundTrips,
+         "disabled passes were not counted");
+
+  const double enabled_ms =
+      *std::min_element(enabled_means.begin(), enabled_means.end());
+  const double disabled_ms =
+      *std::min_element(disabled_means.begin(), disabled_means.end());
+  const double overhead =
+      disabled_ms > 0.0 ? (enabled_ms - disabled_ms) / disabled_ms : 0.0;
+
+  constexpr double kMaxOverhead = 0.05;  // 5%
+  constexpr double kNoiseFloorMs = 0.002;
+  expect(enabled_ms <= disabled_ms * (1.0 + kMaxOverhead) + kNoiseFloorMs,
+         "instrumented round-trips within 5% of registry-disabled");
+
+  std::printf(
+      "BENCH {\"bench\":\"metrics_overhead\",\"passes\":%zu,"
+      "\"round_trips\":%zu,\"enabled_ms\":%.5f,\"disabled_ms\":%.5f,"
+      "\"overhead_pct\":%.2f,\"bound_pct\":%.1f}\n",
+      kPasses, kRoundTrips, enabled_ms, disabled_ms, overhead * 100.0,
+      kMaxOverhead * 100.0);
+
+  transport.stop();
+  jobs.shutdown(true);
+
+  if (failures > 0) {
+    std::fprintf(stderr, "%d metrics overhead invariant(s) failed\n",
+                 failures);
+    return 1;
+  }
+  std::printf("metrics overhead within bounds\n");
+  return 0;
+}

@@ -30,11 +30,15 @@
 //       --auth-token-file FILE).
 //         submit <file> [--inline] [job flags]
 //         status [id]     result <id>     cancel <id>
-//         stats           ping
+//         stats           ping            trace <id>
+//         metrics [--prom]
 //         wait <id> [--timeout s]       shutdown [--no-drain]
 //       `submit --inline` sends the file's contents in the request
 //       payload (submit_inline op) — the server needs no access to the
-//       client's filesystem.
+//       client's filesystem.  `metrics --prom` converts the server's
+//       JSON metrics dump to Prometheus text exposition locally (feed
+//       it to a node_exporter textfile collector).  `wait` reports its
+//       total waited time and poll count on stderr when it returns.
 //
 // Flags:
 //   --poles <n>          VF poles per column            (default 12)
@@ -59,6 +63,9 @@
 //   --retain-mb <n>      disk retention byte budget (0 = unbounded)
 //   --retain-ttl <s>     disk retention TTL in seconds (0 = forever)
 //   --dispatch-workers <n> off-loop protocol handlers (0 = inline)
+//   --trace-file <path>  append one NDJSON trace event per finished job
+//   --slow-job-ms <n>    log a stderr stage breakdown for jobs slower
+//                        than this (0 = off)
 //   --poll-ms <n>        fixed `client wait` poll interval (default:
 //                        exponential backoff 10 ms -> 500 ms)
 //
@@ -93,6 +100,7 @@
 #include "phes/server/server.hpp"
 #include "phes/server/socket.hpp"
 #include "phes/server/transport.hpp"
+#include "phes/util/metrics.hpp"
 
 namespace {
 
@@ -117,11 +125,14 @@ struct CliOptions {
   std::size_t retain_mb = 0;     ///< disk byte budget (0 = unbounded)
   double retain_ttl = 0.0;       ///< disk TTL seconds (0 = forever)
   std::size_t dispatch_workers = 2;
+  std::string trace_file;    ///< NDJSON job-trace sink (serve only)
+  double slow_job_ms = 0.0;  ///< stderr stage breakdown threshold
   // client-only
   double timeout_seconds = 0.0;
   std::size_t poll_ms = 0;  ///< fixed wait poll interval; 0 = backoff
   bool drain = true;
   bool inline_submit = false;  ///< submit the file's contents, not path
+  bool prom = false;  ///< metrics: Prometheus exposition, not JSON
   // Which job flags were explicitly passed: a client submit sends only
   // those, so the rest fall back to the serve-side job defaults.
   bool poles_set = false;
@@ -141,8 +152,9 @@ int usage() {
                "  phes_pipeline client <endpoint> submit <file> "
                "[--inline] [flags]\n"
                "  phes_pipeline client <endpoint> "
-               "status|result|cancel|wait [id]\n"
+               "status|result|cancel|wait|trace [id]\n"
                "  phes_pipeline client <endpoint> stats|ping|shutdown\n"
+               "  phes_pipeline client <endpoint> metrics [--prom]\n"
                "  (<endpoint> = socket path | tcp:HOST:PORT)\n"
                "flags: --poles N --vf-iters N --threads N --jobs N\n"
                "       --solver-threads N --stop-after STAGE\n"
@@ -154,6 +166,7 @@ int usage() {
                "FILE\n"
                "serve: --data-dir DIR --retain-records N --retain-mb N\n"
                "       --retain-ttl SECONDS --dispatch-workers N\n"
+               "       --trace-file PATH --slow-job-ms N\n"
                "client: --timeout SECONDS --poll-ms N (wait), "
                "--no-drain (shutdown),\n"
                "        --inline (submit), --auth-token-file FILE (tcp)\n"
@@ -256,6 +269,19 @@ CliOptions parse_flags(int argc, char** argv, int first) {
       }
     } else if (flag == "--dispatch-workers") {
       cli.dispatch_workers = parse_count(value(), "--dispatch-workers");
+    } else if (flag == "--trace-file") {
+      cli.trace_file = value();
+    } else if (flag == "--slow-job-ms") {
+      const char* text = value();
+      char* end = nullptr;
+      cli.slow_job_ms = std::strtod(text, &end);
+      if (end == text || *end != '\0' || cli.slow_job_ms < 0.0) {
+        throw std::invalid_argument(
+            std::string("--slow-job-ms: expected milliseconds, got '") +
+            text + "'");
+      }
+    } else if (flag == "--prom") {
+      cli.prom = true;
     } else if (flag == "--poll-ms") {
       cli.poll_ms = parse_count(value(), "--poll-ms");
     } else if (flag == "--inline") {
@@ -415,6 +441,8 @@ int cmd_serve(const std::string& socket_path, const CliOptions& cli) {
   options.data_dir = cli.data_dir;
   options.retain_bytes = cli.retain_mb << 20;
   options.retain_ttl_seconds = cli.retain_ttl;
+  options.trace_file = cli.trace_file;
+  options.slow_job_ms = cli.slow_job_ms;
 
   server::JobServer server(options);
   if (!cli.data_dir.empty()) {
@@ -553,7 +581,7 @@ int cmd_client(const std::string& endpoint_spec, const std::string& op,
     }
     request += "}";
   } else if (op == "status" || op == "result" || op == "cancel" ||
-             op == "wait") {
+             op == "wait" || op == "trace") {
     const std::string wire_op = op == "wait" ? "status" : op;
     request = "{\"op\": \"" + wire_op + "\"";
     if (id_or_file != nullptr) {
@@ -564,6 +592,8 @@ int cmd_client(const std::string& endpoint_spec, const std::string& op,
       return 2;
     }
     request += "}";
+  } else if (op == "metrics") {
+    request = "{\"op\": \"metrics\"}";
   } else if (op == "stats" || op == "ping") {
     request = "{\"op\": \"" + op + "\"}";
   } else if (op == "shutdown") {
@@ -583,17 +613,32 @@ int cmd_client(const std::string& endpoint_spec, const std::string& op,
     std::size_t poll_ms = cli.poll_ms > 0 ? cli.poll_ms : kPollStartMs;
     server::Client client(endpoint);
     const auto start = std::chrono::steady_clock::now();
+    std::size_t polls = 0;
+    // How long the wait actually took, on every exit path — scripts
+    // timing a pipeline read it off stderr without bracketing the call.
+    const auto report_wait = [&] {
+      const double waited_ms =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count() *
+          1e3;
+      std::fprintf(stderr, "waited %.0f ms (%zu poll(s))\n", waited_ms,
+                   polls);
+    };
     for (;;) {
       const std::string response = client.request(request);
+      ++polls;
       const auto json = server::JsonValue::parse(response);
       const server::JsonValue* job = json.find("job");
       if (job == nullptr) {  // error response (unknown id)
         std::printf("%s\n", response.c_str());
+        report_wait();
         return kWaitFailed;
       }
       const std::string state = job->string_or("state", "");
       if (state == "done" || state == "failed" || state == "cancelled") {
         std::printf("%s\n", response.c_str());
+        report_wait();
         if (state == "done") return kWaitDone;
         return state == "cancelled" ? kWaitCancelled : kWaitFailed;
       }
@@ -604,11 +649,30 @@ int cmd_client(const std::string& endpoint_spec, const std::string& op,
       if (cli.timeout_seconds > 0.0 && elapsed > cli.timeout_seconds) {
         std::fprintf(stderr, "error: timed out after %.0f s (state %s)\n",
                      cli.timeout_seconds, state.c_str());
+        report_wait();
         return kWaitTimeout;
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
       if (cli.poll_ms == 0) poll_ms = std::min(poll_ms * 2, kPollCapMs);
     }
+  }
+
+  if (op == "metrics" && cli.prom) {
+    // Convert the JSON snapshot to Prometheus text exposition locally:
+    // the server stays a one-format NDJSON protocol, and anything that
+    // can run the client can feed a textfile collector.
+    const std::string response = server::round_trip(endpoint, request);
+    const auto json = server::JsonValue::parse(response);
+    const server::JsonValue* metrics = json.find("metrics");
+    if (metrics == nullptr) {
+      std::printf("%s\n", response.c_str());
+      return 1;
+    }
+    std::fputs(obs::MetricsSnapshot::from_json(*metrics)
+                   .to_prometheus()
+                   .c_str(),
+               stdout);
+    return 0;
   }
 
   const std::string response = server::round_trip(endpoint, request);

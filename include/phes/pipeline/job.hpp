@@ -97,6 +97,11 @@ struct PipelineJob {
 struct StageTiming {
   Stage stage = Stage::kLoad;
   double seconds = 0.0;
+  /// Offset of the stage's start from the pipeline's start (seconds on
+  /// the monotonic clock).  Feeds trace spans; deliberately NOT part of
+  /// the serialized job record (write_job_json stays byte-stable across
+  /// the durable store's read/write round trip).
+  double start_seconds = 0.0;
 };
 
 /// Structured outcome of one job.

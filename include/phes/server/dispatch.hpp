@@ -21,17 +21,20 @@
 // shuts down — the owner must keep the JobServer alive (running or
 // shut down, either unblocks) until stop() returns.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "phes/server/protocol.hpp"
+#include "phes/util/metrics.hpp"
 
 namespace phes::server {
 
@@ -53,8 +56,11 @@ class DispatchPool {
   using Completion =
       std::function<void(std::uint64_t conn_token, RequestOutcome outcome)>;
 
+  /// `registry` hosts the pool's counters and latency histograms
+  /// (queue-wait, handle-time); nullptr gives the pool a private one.
   DispatchPool(std::size_t workers, std::size_t queue_capacity,
-               Handler handler, Completion on_complete);
+               Handler handler, Completion on_complete,
+               obs::MetricsRegistry* registry = nullptr);
   ~DispatchPool();
 
   DispatchPool(const DispatchPool&) = delete;
@@ -74,6 +80,8 @@ class DispatchPool {
   struct Task {
     std::uint64_t conn_token = 0;
     std::string line;
+    /// Submission instant (monotonic) — queue-wait histogram anchor.
+    std::chrono::steady_clock::time_point enqueued_at{};
   };
 
   void worker_loop();
@@ -87,9 +95,15 @@ class DispatchPool {
   std::deque<Task> queue_;
   bool stopping_ = false;
   std::size_t peak_depth_ = 0;
-  std::size_t submitted_ = 0;
-  std::size_t completed_ = 0;
-  std::size_t rejected_ = 0;
+
+  /// Registry-backed counters (the stats op reads the same values).
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::Counter* submitted_ = nullptr;
+  obs::Counter* completed_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+  obs::Gauge* depth_ = nullptr;
+  obs::Histogram* queue_wait_ = nullptr;
+  obs::Histogram* handle_time_ = nullptr;
 
   std::vector<std::thread> workers_;
 };

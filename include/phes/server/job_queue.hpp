@@ -9,15 +9,18 @@
 // remains and then get nullopt.  remove() supports cancelling a job
 // that has not been popped yet.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
 
 #include "phes/pipeline/job.hpp"
+#include "phes/util/metrics.hpp"
 
 namespace phes::server {
 
@@ -26,6 +29,11 @@ namespace phes::server {
 struct QueuedJob {
   std::uint64_t id = 0;
   pipeline::PipelineJob job;
+  /// Admission wall-clock timestamp (trace events).
+  double submitted_unix = 0.0;
+  /// Admission instant on the monotonic clock — the anchor the worker
+  /// measures queue wait against.
+  std::chrono::steady_clock::time_point enqueued_at{};
 };
 
 class JobQueue {
@@ -41,8 +49,11 @@ class JobQueue {
     bool closed = false;
   };
 
-  /// Capacity must be at least 1.
-  explicit JobQueue(std::size_t capacity);
+  /// Capacity must be at least 1.  Counters and the depth gauge live
+  /// in `registry` (the owning server's); nullptr gives the queue a
+  /// private registry so standalone queues stay isolated.
+  explicit JobQueue(std::size_t capacity,
+                    obs::MetricsRegistry* registry = nullptr);
 
   JobQueue(const JobQueue&) = delete;
   JobQueue& operator=(const JobQueue&) = delete;
@@ -78,11 +89,17 @@ class JobQueue {
   std::condition_variable work_available_;
   std::deque<QueuedJob> queue_;
   bool closed_ = false;
-  std::size_t pushed_ = 0;
-  std::size_t popped_ = 0;
-  std::size_t removed_ = 0;
-  std::size_t push_waits_ = 0;
-  std::size_t peak_size_ = 0;
+  std::size_t peak_size_ = 0;  ///< max-tracking needs the mutex anyway
+
+  /// Stats counters are registry-backed (the stats op is a view over
+  /// the metrics registry, not a parallel bookkeeping path).
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::Counter* pushed_ = nullptr;
+  obs::Counter* popped_ = nullptr;
+  obs::Counter* removed_ = nullptr;
+  obs::Counter* push_waits_ = nullptr;
+  obs::Gauge* depth_ = nullptr;
+  obs::Histogram* admission_wait_ = nullptr;
 };
 
 }  // namespace phes::server

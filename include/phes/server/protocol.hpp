@@ -19,6 +19,8 @@
 //   {"op":"result","id":7}
 //   {"op":"cancel","id":7}
 //   {"op":"stats"}
+//   {"op":"metrics"}            (full obs::MetricsRegistry dump)
+//   {"op":"trace","id":7}       (per-stage spans of a finished job)
 //   {"op":"shutdown","drain":true}
 //
 // Every response carries "ok"; failures add "error".  `result` embeds
@@ -28,7 +30,14 @@
 // the terminal state reported by status/result is authoritative.
 // `stats` reports queue/session-pool/job counters, the result
 // storage's retention counters, and — when served through a
-// TransportServer — the transport and dispatch-pool counters.
+// TransportServer — the transport and dispatch-pool counters; all of
+// them are views over the same obs::MetricsRegistry the `metrics` op
+// dumps in full (see README "Observability" for the name reference).
+// `trace` returns the server/trace.hpp JobTrace of a finished job —
+// one span per pipeline stage with durations and solver counters —
+// while it remains in the in-memory trace ring
+// (ServerOptions::trace_capacity); the error message distinguishes
+// a job that has not finished from one whose trace was evicted.
 //
 // The JSON parser used here is util::JsonValue (util/json.hpp), shared
 // with the pipeline's report reader; `JsonValue` stays available under

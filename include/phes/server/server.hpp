@@ -16,6 +16,7 @@
 // -> shutdown(drain) exactly once (the destructor drains gracefully if
 // the caller did not).  Thread-safe throughout.
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -32,6 +33,8 @@
 #include "phes/pipeline/job.hpp"
 #include "phes/server/job_queue.hpp"
 #include "phes/server/result_store.hpp"
+#include "phes/server/trace.hpp"
+#include "phes/util/metrics.hpp"
 #include "phes/util/thread_pool.hpp"
 
 namespace phes::server {
@@ -64,6 +67,20 @@ struct ServerOptions {
   double retain_ttl_seconds = 0.0;
   /// Base options applied to submissions that do not override them.
   pipeline::JobOptions job_defaults{};
+  /// Metrics sink shared by every layer of this server (queue, workers,
+  /// storage; the TransportServer and DispatchPool join it through
+  /// metrics_registry()).  nullptr: the server owns a private registry,
+  /// so several servers in one process keep isolated counters.  Must
+  /// outlive the server when set.
+  obs::MetricsRegistry* registry = nullptr;
+  /// Per-job stage traces kept for the `trace <id>` protocol op.
+  std::size_t trace_capacity = 512;
+  /// When non-empty, every finished job appends one NDJSON trace event
+  /// here (see server/trace.hpp); open failure is non-fatal.
+  std::string trace_file;
+  /// When > 0, any job whose pipeline run exceeds this many
+  /// milliseconds gets its full stage breakdown logged to stderr.
+  double slow_job_ms = 0.0;
 };
 
 struct ServerStats {
@@ -128,6 +145,21 @@ class JobServer {
     return options_;
   }
 
+  /// The registry every layer of this server reports into (the
+  /// server-owned one unless ServerOptions::registry was set).
+  [[nodiscard]] obs::MetricsRegistry& metrics_registry() const noexcept {
+    return *registry_;
+  }
+  /// Full metrics dump — what the `metrics` protocol op serializes.
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const {
+    return registry_->snapshot();
+  }
+  /// Stage trace of a finished job, if it is still in the trace ring
+  /// (jobs cancelled while queued never ran, so they have no trace).
+  [[nodiscard]] std::optional<JobTrace> trace(std::uint64_t id) const {
+    return traces_.get(id);
+  }
+
   /// Test/diagnostics hook: invoked as (job id, stage) when any job
   /// starts a stage.  Set before jobs are submitted; runs on worker
   /// threads.
@@ -141,6 +173,8 @@ class JobServer {
 
   void worker_loop();
   void run_one(QueuedJob item);
+  /// stderr breakdown for jobs slower than ServerOptions::slow_job_ms.
+  void log_slow_job(const JobTrace& trace) const;
   /// Wakes wait()ers; takes finished_mutex_ briefly so a state change
   /// cannot slip between a waiter's predicate check and its block.
   void notify_finished();
@@ -151,9 +185,25 @@ class JobServer {
   std::size_t worker_count_ = 1;
   std::size_t solver_threads_ = 1;
 
+  /// Declared before queue_/store_: both register instruments in the
+  /// registry during construction.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  TraceStore traces_;
+
   JobQueue queue_;
   ResultStore store_;
   engine::SessionPool session_pool_;
+
+  // Worker-layer instruments (resolved once at construction).
+  obs::Counter* jobs_submitted_ = nullptr;
+  obs::Counter* jobs_done_ = nullptr;
+  obs::Counter* jobs_failed_ = nullptr;
+  obs::Counter* jobs_cancelled_ = nullptr;
+  obs::Histogram* queue_wait_hist_ = nullptr;
+  obs::Histogram* job_total_hist_ = nullptr;
+  /// One duration histogram per pipeline stage, indexed by Stage.
+  std::array<obs::Histogram*, 6> stage_hist_{};
 
   mutable std::mutex flags_mutex_;
   std::unordered_map<std::uint64_t, std::shared_ptr<std::atomic<bool>>>
@@ -162,7 +212,6 @@ class JobServer {
   std::function<void(std::uint64_t, pipeline::Stage)> stage_observer_;
 
   std::atomic<std::uint64_t> next_id_{1};
-  std::atomic<std::uint64_t> submitted_{0};
   std::atomic<bool> accepting_{true};
   /// An aborting shutdown is in progress: submissions racing past the
   /// accepting() gate self-flag so none can slip in unflagged between

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "phes/pipeline/job.hpp"
+#include "phes/util/metrics.hpp"
 
 namespace phes::server {
 
@@ -120,7 +121,10 @@ class Storage {
 /// terminal records, evicting oldest-first.
 class MemoryStorage final : public Storage {
  public:
-  explicit MemoryStorage(std::size_t max_finished = 4096);
+  /// Retention counters live in `registry` (the owning server's);
+  /// nullptr gives the backend a private registry.
+  explicit MemoryStorage(std::size_t max_finished = 4096,
+                         obs::MetricsRegistry* registry = nullptr);
 
   void put(const JobRecord& record) override;
   [[nodiscard]] std::optional<JobRecord> get(std::uint64_t id) const override;
@@ -137,7 +141,11 @@ class MemoryStorage final : public Storage {
  private:
   const std::size_t max_finished_;
   std::map<std::uint64_t, JobRecord> records_;
-  std::size_t evicted_ = 0;
+  /// Registry-backed (StorageStats is a view over these).
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::Counter* evicted_ = nullptr;
+  obs::Gauge* records_gauge_ = nullptr;
+  obs::Histogram* put_hist_ = nullptr;
 };
 
 struct DiskStorageOptions {
@@ -159,7 +167,11 @@ struct DiskStorageOptions {
 /// the directory cannot be created or written.
 class DiskStorage final : public Storage {
  public:
-  explicit DiskStorage(std::string dir, DiskStorageOptions options = {});
+  /// Journal/replay and put/get latency histograms plus retention
+  /// counters live in `registry`; nullptr gives the backend a private
+  /// registry (standalone construction in tests).
+  explicit DiskStorage(std::string dir, DiskStorageOptions options = {},
+                       obs::MetricsRegistry* registry = nullptr);
 
   void note_admitted(std::uint64_t id, const std::string& name) override;
   void put(const JobRecord& record) override;
@@ -208,9 +220,19 @@ class DiskStorage final : public Storage {
   std::map<std::uint64_t, std::string> pending_;  ///< admitted, no finish
   std::uint64_t max_seen_id_ = 0;
   std::size_t total_bytes_ = 0;
-  std::size_t evicted_ = 0;
-  std::size_t recovered_ = 0;
-  std::size_t lost_ = 0;
+  /// Registry-backed (StorageStats is a view over these).  Resolved in
+  /// the constructor BEFORE recover() runs, so the recovery pass can
+  /// publish its counters and replay latency directly.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::Counter* evicted_ = nullptr;
+  obs::Counter* recovered_ = nullptr;
+  obs::Counter* lost_ = nullptr;
+  obs::Gauge* records_gauge_ = nullptr;
+  obs::Gauge* bytes_gauge_ = nullptr;
+  obs::Histogram* put_hist_ = nullptr;
+  obs::Histogram* get_hist_ = nullptr;
+  obs::Histogram* journal_hist_ = nullptr;
+  obs::Histogram* replay_hist_ = nullptr;
 };
 
 }  // namespace phes::server

@@ -40,6 +40,7 @@
 // dispatch_workers = 0 restores the PR 4 inline-handling behavior.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -54,6 +55,7 @@
 
 #include "phes/server/dispatch.hpp"
 #include "phes/server/protocol.hpp"
+#include "phes/util/metrics.hpp"
 
 namespace phes::server {
 
@@ -223,6 +225,9 @@ class TransportServer {
     std::uint64_t token = 0;   ///< stable id (fds are reused by the OS)
     Transport* transport = nullptr;
     bool authed = false;       ///< true immediately when no auth needed
+    /// Accept time — feeds the accept-to-auth latency histogram when
+    /// the transport requires the auth handshake.
+    std::chrono::steady_clock::time_point accepted_at{};
     std::string in;            ///< bytes carried across partial reads
     std::string out;           ///< response bytes pending write
     std::size_t out_off = 0;   ///< sent prefix of `out`
@@ -264,6 +269,9 @@ class TransportServer {
   void note_shutdown(bool drain);
   /// Kick the loop out of epoll_wait (completion arrived / stop()).
   void notify_loop();
+  /// Resolve the instrument handles from the JobServer's registry
+  /// (construction only).
+  void resolve_instruments();
 
   JobServer& server_;
   std::vector<std::unique_ptr<Transport>> transports_;
@@ -289,8 +297,19 @@ class TransportServer {
   std::mutex completions_mutex_;
   std::deque<std::pair<std::uint64_t, RequestOutcome>> completions_;
 
-  mutable std::mutex stats_mutex_;
-  TransportStats stats_;
+  // Transport-layer instruments, resolved once at construction from the
+  // JobServer's registry; TransportStats is a view over these (every
+  // field is a single atomic, so no stats mutex is needed).
+  obs::Counter* accepted_ctr_ = nullptr;
+  obs::Counter* requests_ctr_ = nullptr;
+  obs::Counter* inline_requests_ctr_ = nullptr;
+  obs::Counter* dispatched_ctr_ = nullptr;
+  obs::Counter* rejected_ctr_ = nullptr;
+  obs::Counter* auth_failures_ctr_ = nullptr;
+  obs::Counter* oversized_ctr_ = nullptr;
+  obs::Gauge* open_connections_gauge_ = nullptr;
+  obs::Histogram* accept_to_auth_hist_ = nullptr;
+  obs::Histogram* inline_handle_hist_ = nullptr;
 
   mutable std::mutex shutdown_mutex_;
   std::condition_variable shutdown_cv_;

@@ -36,6 +36,11 @@ class JsonValue {
   [[nodiscard]] std::uint64_t as_uint() const;
   [[nodiscard]] const std::string& as_string() const;
   [[nodiscard]] const std::vector<JsonValue>& items() const;
+  /// Object members in document order (key/value pairs); throws on a
+  /// non-object.  For documents with dynamic keys (e.g. a metrics
+  /// snapshot's counter names) where find() cannot enumerate.
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
+  members() const;
 
   /// Object member lookup; nullptr when absent (or not an object).
   [[nodiscard]] const JsonValue* find(const std::string& key) const;

@@ -132,6 +132,7 @@ PipelineResult run_pipeline(const PipelineJob& job,
       return false;
     }
     if (context.on_stage_start) context.on_stage_start(stage);
+    const double stage_start = total_timer.seconds();
     const util::WallTimer timer;
     try {
       body();
@@ -142,7 +143,7 @@ PipelineResult run_pipeline(const PipelineJob& job,
       result.total_seconds = total_timer.seconds();
       return false;
     }
-    result.stage_timings.push_back({stage, timer.seconds()});
+    result.stage_timings.push_back({stage, timer.seconds(), stage_start});
     if (stage == job.options.stop_after) {
       result.ok = true;
       result.completed = true;

@@ -3,13 +3,26 @@
 #include <algorithm>
 #include <utility>
 
+#include "phes/util/timer.hpp"
+
 namespace phes::server {
 
 DispatchPool::DispatchPool(std::size_t workers, std::size_t queue_capacity,
-                           Handler handler, Completion on_complete)
+                           Handler handler, Completion on_complete,
+                           obs::MetricsRegistry* registry)
     : capacity_(std::max<std::size_t>(1, queue_capacity)),
       handler_(std::move(handler)),
       on_complete_(std::move(on_complete)) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  submitted_ = &registry->counter("phes_dispatch_submitted_total");
+  completed_ = &registry->counter("phes_dispatch_completed_total");
+  rejected_ = &registry->counter("phes_dispatch_rejected_total");
+  depth_ = &registry->gauge("phes_dispatch_queue_depth");
+  queue_wait_ = &registry->histogram("phes_dispatch_queue_wait_seconds");
+  handle_time_ = &registry->histogram("phes_dispatch_handle_seconds");
   const std::size_t count = std::max<std::size_t>(1, workers);
   workers_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -23,11 +36,13 @@ bool DispatchPool::try_submit(std::uint64_t conn_token, std::string line) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_ || queue_.size() >= capacity_) {
-      ++rejected_;
+      rejected_->add();
       return false;
     }
-    queue_.push_back(Task{conn_token, std::move(line)});
-    ++submitted_;
+    queue_.push_back(Task{conn_token, std::move(line),
+                          std::chrono::steady_clock::now()});
+    submitted_->add();
+    depth_->set(static_cast<std::int64_t>(queue_.size()));
     peak_depth_ = std::max(peak_depth_, queue_.size());
   }
   work_available_.notify_one();
@@ -44,12 +59,16 @@ void DispatchPool::worker_loop() {
       if (stopping_) return;  // queued tasks are dropped on stop
       task = std::move(queue_.front());
       queue_.pop_front();
+      depth_->set(static_cast<std::int64_t>(queue_.size()));
     }
+    queue_wait_->observe(std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() -
+                             task.enqueued_at)
+                             .count());
+    const util::WallTimer handle_timer;
     RequestOutcome outcome = handler_(task.line);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++completed_;
-    }
+    handle_time_->observe(handle_timer.seconds());
+    completed_->add();
     on_complete_(task.conn_token, std::move(outcome));
   }
 }
@@ -60,6 +79,7 @@ void DispatchPool::stop() {
     if (stopping_) return;
     stopping_ = true;
     queue_.clear();
+    depth_->set(0);
   }
   work_available_.notify_all();
   for (auto& worker : workers_) {
@@ -73,9 +93,9 @@ DispatchStats DispatchPool::stats() const {
   s.workers = workers_.size();
   s.queue_depth = queue_.size();
   s.peak_depth = peak_depth_;
-  s.submitted = submitted_;
-  s.completed = completed_;
-  s.rejected = rejected_;
+  s.submitted = static_cast<std::size_t>(submitted_->value());
+  s.completed = static_cast<std::size_t>(completed_->value());
+  s.rejected = static_cast<std::size_t>(rejected_->value());
   return s;
 }
 

@@ -4,20 +4,40 @@
 #include <utility>
 
 #include "phes/util/check.hpp"
+#include "phes/util/timer.hpp"
 
 namespace phes::server {
 
-JobQueue::JobQueue(std::size_t capacity)
-    : capacity_(std::max<std::size_t>(1, capacity)) {}
+JobQueue::JobQueue(std::size_t capacity, obs::MetricsRegistry* registry)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  pushed_ = &registry->counter("phes_queue_pushed_total");
+  popped_ = &registry->counter("phes_queue_popped_total");
+  removed_ = &registry->counter("phes_queue_removed_total");
+  push_waits_ = &registry->counter("phes_queue_push_waits_total");
+  depth_ = &registry->gauge("phes_queue_depth");
+  admission_wait_ =
+      &registry->histogram("phes_queue_admission_wait_seconds");
+}
 
 bool JobQueue::push(QueuedJob item) {
   std::unique_lock<std::mutex> lock(mutex_);
-  if (queue_.size() >= capacity_ && !closed_) ++push_waits_;
+  const bool blocked = queue_.size() >= capacity_ && !closed_;
+  if (blocked) push_waits_->add();
+  const util::WallTimer wait_timer;
   space_available_.wait(
       lock, [&] { return closed_ || queue_.size() < capacity_; });
+  // The admission-wait histogram records every push (a fast admit is a
+  // near-zero observation), so its quantiles reflect what a submitter
+  // actually experiences, not just the congested minority.
+  admission_wait_->observe(wait_timer.seconds());
   if (closed_) return false;
   queue_.push_back(std::move(item));
-  ++pushed_;
+  pushed_->add();
+  depth_->set(static_cast<std::int64_t>(queue_.size()));
   peak_size_ = std::max(peak_size_, queue_.size());
   lock.unlock();
   work_available_.notify_one();
@@ -30,7 +50,8 @@ std::optional<QueuedJob> JobQueue::pop() {
   if (queue_.empty()) return std::nullopt;  // closed and drained
   QueuedJob item = std::move(queue_.front());
   queue_.pop_front();
-  ++popped_;
+  popped_->add();
+  depth_->set(static_cast<std::int64_t>(queue_.size()));
   lock.unlock();
   space_available_.notify_one();
   return item;
@@ -43,7 +64,8 @@ bool JobQueue::remove(std::uint64_t id) {
                    [id](const QueuedJob& q) { return q.id == id; });
   if (it == queue_.end()) return false;
   queue_.erase(it);
-  ++removed_;
+  removed_->add();
+  depth_->set(static_cast<std::int64_t>(queue_.size()));
   lock.unlock();
   space_available_.notify_one();
   return true;
@@ -54,8 +76,9 @@ std::vector<QueuedJob> JobQueue::drain() {
   std::vector<QueuedJob> out;
   out.reserve(queue_.size());
   for (auto& q : queue_) out.push_back(std::move(q));
-  removed_ += queue_.size();
+  removed_->add(queue_.size());
   queue_.clear();
+  depth_->set(0);
   lock.unlock();
   space_available_.notify_all();
   return out;
@@ -83,10 +106,10 @@ bool JobQueue::closed() const {
 JobQueue::Stats JobQueue::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Stats s;
-  s.pushed = pushed_;
-  s.popped = popped_;
-  s.removed = removed_;
-  s.push_waits = push_waits_;
+  s.pushed = pushed_->value();
+  s.popped = popped_->value();
+  s.removed = removed_->value();
+  s.push_waits = push_waits_->value();
   s.peak_size = peak_size_;
   s.size = queue_.size();
   s.capacity = capacity_;

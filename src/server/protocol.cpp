@@ -242,6 +242,38 @@ std::string handle_stats(JobServer& server,
   return os.str();
 }
 
+std::string handle_metrics(JobServer& server) {
+  // The full registry dump: every layer's counters/gauges/histograms
+  // in one object (the client's --prom mode converts it to Prometheus
+  // text exposition locally).
+  return "{\"ok\": true, \"metrics\": " +
+         server.metrics_snapshot().to_json() + "}";
+}
+
+std::string handle_trace(JobServer& server, const JsonValue& request) {
+  const JsonValue* id_value = request.find("id");
+  if (id_value == nullptr) return error_response("trace: missing \"id\"");
+  const std::uint64_t id = id_value->as_uint();
+  if (const auto trace = server.trace(id)) {
+    return "{\"ok\": true, \"trace\": " + trace->to_json() + "}";
+  }
+  // Distinguish "not finished yet" from "ran before the ring/process
+  // rolled over" so clients know whether retrying can ever succeed.
+  const auto record = server.job_summary(id);
+  if (!record) {
+    return error_response("trace: unknown job id " + std::to_string(id));
+  }
+  if (!is_terminal(record->state)) {
+    return error_response("trace: job " + std::to_string(id) +
+                          " has not finished (state " +
+                          job_state_name(record->state) + ")");
+  }
+  return error_response("trace: no trace retained for job " +
+                        std::to_string(id) +
+                        " (evicted from the trace ring, or the job "
+                        "finished in a previous server process)");
+}
+
 }  // namespace
 
 RequestOutcome handle_request(JobServer& server, const std::string& line,
@@ -279,6 +311,10 @@ RequestOutcome handle_request(JobServer& server, const JsonValue& request,
       outcome.response = handle_cancel(server, request);
     } else if (op == "stats") {
       outcome.response = handle_stats(server, snapshot);
+    } else if (op == "metrics") {
+      outcome.response = handle_metrics(server);
+    } else if (op == "trace") {
+      outcome.response = handle_trace(server, request);
     } else if (op == "shutdown") {
       outcome.shutdown_requested = true;
       outcome.drain = request.bool_or("drain", true);

@@ -1,23 +1,28 @@
 #include "phes/server/server.hpp"
 
 #include <chrono>
+#include <cstdio>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "phes/pipeline/batch.hpp"
+#include "phes/util/timer.hpp"
 
 namespace phes::server {
 
 namespace {
 
-std::unique_ptr<Storage> make_storage(const ServerOptions& options) {
+std::unique_ptr<Storage> make_storage(const ServerOptions& options,
+                                      obs::MetricsRegistry* registry) {
   if (options.data_dir.empty()) {
-    return std::make_unique<MemoryStorage>(options.max_finished_records);
+    return std::make_unique<MemoryStorage>(options.max_finished_records,
+                                           registry);
   }
   DiskStorageOptions disk;
   disk.max_bytes = options.retain_bytes;
   disk.ttl_seconds = options.retain_ttl_seconds;
-  return std::make_unique<DiskStorage>(options.data_dir, disk);
+  return std::make_unique<DiskStorage>(options.data_dir, disk, registry);
 }
 
 pipeline::ParallelismPlan server_plan(const ServerOptions& options) {
@@ -42,10 +47,27 @@ JobServer::JobServer(ServerOptions options, pipeline::ParallelismPlan plan)
     : options_(std::move(options)),
       worker_count_(plan.job_workers),
       solver_threads_(plan.solver_threads),
-      queue_(options_.queue_capacity),
-      store_(make_storage(options_)),
+      owned_registry_(options_.registry != nullptr
+                          ? nullptr
+                          : std::make_unique<obs::MetricsRegistry>()),
+      registry_(options_.registry != nullptr ? options_.registry
+                                             : owned_registry_.get()),
+      traces_(options_.trace_capacity, options_.trace_file),
+      queue_(options_.queue_capacity, registry_),
+      store_(make_storage(options_, registry_)),
       session_pool_(options_.pool),
       pool_(worker_count_) {
+  jobs_submitted_ = &registry_->counter("phes_jobs_submitted_total");
+  jobs_done_ = &registry_->counter("phes_jobs_done_total");
+  jobs_failed_ = &registry_->counter("phes_jobs_failed_total");
+  jobs_cancelled_ = &registry_->counter("phes_jobs_cancelled_total");
+  queue_wait_hist_ = &registry_->histogram("phes_job_queue_wait_seconds");
+  job_total_hist_ = &registry_->histogram("phes_job_total_seconds");
+  for (std::size_t i = 0; i < stage_hist_.size(); ++i) {
+    stage_hist_[i] = &registry_->histogram(
+        std::string("phes_stage_seconds_") +
+        pipeline::stage_name(static_cast<pipeline::Stage>(i)));
+  }
   // A durable store may have recovered records from a previous process
   // lifetime; new ids must continue above them, or a restart would
   // reissue an id that still names a stored result.
@@ -70,10 +92,11 @@ std::uint64_t JobServer::submit(pipeline::PipelineJob job) {
     std::lock_guard<std::mutex> lock(flags_mutex_);
     cancel_flags_[id] = flag;
   }
-  submitted_.fetch_add(1);
+  jobs_submitted_->add();
   // Backpressure: blocks while the queue is full.  The record already
   // exists, so clients polling `status` see the job as queued.
-  if (!queue_.push(QueuedJob{id, std::move(job)})) {
+  if (!queue_.push(QueuedJob{id, std::move(job), util::unix_seconds(),
+                             std::chrono::steady_clock::now()})) {
     // Shutdown closed the queue while we were blocked.
     store_.mark_cancelled(id);
     {
@@ -206,6 +229,12 @@ void JobServer::worker_loop() {
 
 void JobServer::run_one(QueuedJob item) {
   const std::uint64_t id = item.id;
+  const double queue_wait_seconds =
+      item.enqueued_at == std::chrono::steady_clock::time_point{}
+          ? 0.0  // item was hand-built without timestamps (tests)
+          : std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - item.enqueued_at)
+                .count();
   const auto flag = cancel_flag(id);
   if (!store_.mark_running(id)) {
     // The record went terminal while queued (cancel race): drop it.
@@ -227,6 +256,9 @@ void JobServer::run_one(QueuedJob item) {
 
   item.job.options.solver.threads = solver_threads_;
 
+  queue_wait_hist_->observe(queue_wait_seconds);
+  const double started_unix = util::unix_seconds();
+
   pipeline::PipelineResult result;
   try {
     result = pipeline::run_pipeline(item.job, context);
@@ -239,6 +271,27 @@ void JobServer::run_one(QueuedJob item) {
     result.ok = false;
     result.error = e.what();
   }
+
+  // Worker-layer metrics + the per-job trace, assembled before the
+  // result is moved into the store.
+  for (const pipeline::StageTiming& timing : result.stage_timings) {
+    stage_hist_[static_cast<std::size_t>(timing.stage)]->observe(
+        timing.seconds);
+  }
+  job_total_hist_->observe(result.total_seconds);
+  (result.cancelled ? jobs_cancelled_
+   : result.ok      ? jobs_done_
+                    : jobs_failed_)
+      ->add();
+  JobTrace trace = build_job_trace(result, item.submitted_unix,
+                                   started_unix,
+                                   queue_wait_seconds * 1e3);
+  if (options_.slow_job_ms > 0.0 &&
+      result.total_seconds * 1e3 >= options_.slow_job_ms) {
+    log_slow_job(trace);
+  }
+  traces_.record(std::move(trace));
+
   store_.finish(id, std::move(result));
   {
     std::lock_guard<std::mutex> lock(flags_mutex_);
@@ -247,9 +300,27 @@ void JobServer::run_one(QueuedJob item) {
   notify_finished();
 }
 
+void JobServer::log_slow_job(const JobTrace& trace) const {
+  std::ostringstream os;
+  os << "[slow-job] id=" << trace.id << " name='" << trace.name
+     << "' status=" << trace.status << " total=" << trace.total_ms
+     << "ms queue_wait=" << trace.queue_wait_ms << "ms stages:";
+  for (const StageSpan& span : trace.spans) {
+    os << ' ' << span.stage << '=' << span.duration_ms << "ms";
+    if (span.matvecs > 0) {
+      os << "(matvecs=" << span.matvecs
+         << ",cache=" << span.cache_hits << '/' << span.cache_misses
+         << ",fact=" << span.factorizations << ')';
+    }
+  }
+  os << " session: solves=" << trace.solves << " warm=" << trace.warm_solves
+     << " cache=" << trace.cache_hits << '/' << trace.cache_misses;
+  std::fprintf(stderr, "%s\n", os.str().c_str());
+}
+
 ServerStats JobServer::stats() const {
   ServerStats s;
-  s.submitted = submitted_.load();
+  s.submitted = static_cast<std::size_t>(jobs_submitted_->value());
   s.workers = worker_count_;
   s.solver_threads = solver_threads_;
   s.queue = queue_.stats();

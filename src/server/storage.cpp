@@ -10,6 +10,7 @@
 
 #include "phes/pipeline/report.hpp"
 #include "phes/util/json.hpp"
+#include "phes/util/timer.hpp"
 
 namespace phes::server {
 
@@ -59,15 +60,27 @@ std::string fmt_unix(double value) {
 
 // ---- MemoryStorage ----------------------------------------------------
 
-MemoryStorage::MemoryStorage(std::size_t max_finished)
-    : max_finished_(std::max<std::size_t>(1, max_finished)) {}
+MemoryStorage::MemoryStorage(std::size_t max_finished,
+                             obs::MetricsRegistry* registry)
+    : max_finished_(std::max<std::size_t>(1, max_finished)) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  evicted_ = &registry->counter("phes_store_evicted_total");
+  records_gauge_ = &registry->gauge("phes_store_records");
+  put_hist_ = &registry->histogram("phes_store_put_seconds");
+}
 
 void MemoryStorage::put(const JobRecord& record) {
+  const util::WallTimer timer;
   records_[record.id] = record;
   while (records_.size() > max_finished_) {
     records_.erase(records_.begin());
-    ++evicted_;
+    evicted_->add();
   }
+  records_gauge_->set(static_cast<std::int64_t>(records_.size()));
+  put_hist_->observe(timer.seconds());
 }
 
 std::optional<JobRecord> MemoryStorage::get(std::uint64_t id) const {
@@ -132,21 +145,39 @@ StorageStats MemoryStorage::stats() const {
   StorageStats s;
   s.durable = false;
   s.records = records_.size();
-  s.evicted = evicted_;
+  s.evicted = static_cast<std::size_t>(evicted_->value());
   return s;
 }
 
 // ---- DiskStorage ------------------------------------------------------
 
-DiskStorage::DiskStorage(std::string dir, DiskStorageOptions options)
+DiskStorage::DiskStorage(std::string dir, DiskStorageOptions options,
+                         obs::MetricsRegistry* registry)
     : dir_(std::move(dir)), options_(options) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  evicted_ = &registry->counter("phes_store_evicted_total");
+  recovered_ = &registry->counter("phes_store_recovered_total");
+  lost_ = &registry->counter("phes_store_lost_total");
+  records_gauge_ = &registry->gauge("phes_store_records");
+  bytes_gauge_ = &registry->gauge("phes_store_bytes");
+  put_hist_ = &registry->histogram("phes_store_put_seconds");
+  get_hist_ = &registry->histogram("phes_store_get_seconds");
+  journal_hist_ = &registry->histogram("phes_store_journal_append_seconds");
+  replay_hist_ = &registry->histogram("phes_store_replay_seconds");
   std::error_code ec;
   fs::create_directories(fs::path(dir_) / "jobs", ec);
   if (ec) {
     throw std::runtime_error("DiskStorage: cannot create '" + dir_ +
                              "/jobs': " + ec.message());
   }
-  recover();
+  {
+    const util::WallTimer replay_timer;
+    recover();
+    replay_hist_->observe(replay_timer.seconds());
+  }
   compact_index();
   index_.open(fs::path(dir_) / "index.ndjson",
               std::ios::app | std::ios::binary);
@@ -162,6 +193,7 @@ std::string DiskStorage::job_path(std::uint64_t id) const {
 }
 
 void DiskStorage::append_event(const std::string& line) {
+  const util::WallTimer timer;
   if (!index_) index_.clear();  // a past failure must not wedge appends
   index_ << line << '\n';
   // One flush per event: the journal must reflect the admission before
@@ -172,6 +204,7 @@ void DiskStorage::append_event(const std::string& line) {
   // payload file is already on disk and recover() salvages it even
   // without its finish event — so clear the stream and keep going.
   if (!index_) index_.clear();
+  journal_hist_->observe(timer.seconds());
 }
 
 void DiskStorage::note_admitted(std::uint64_t id, const std::string& name) {
@@ -216,9 +249,12 @@ void DiskStorage::write_record(const JobRecord& record,
   entries_[record.id] = std::move(entry);
   pending_.erase(record.id);
   max_seen_id_ = std::max(max_seen_id_, record.id);
+  records_gauge_->set(static_cast<std::int64_t>(entries_.size()));
+  bytes_gauge_->set(static_cast<std::int64_t>(total_bytes_));
 }
 
 void DiskStorage::put(const JobRecord& record) {
+  const util::WallTimer timer;
   const double now = unix_now();
   write_record(record, now);
   const Entry& entry = entries_[record.id];
@@ -234,6 +270,7 @@ void DiskStorage::put(const JobRecord& record) {
      << ", \"unix_time\": " << fmt_unix(entry.finished_unix) << "}";
   append_event(ev.str());
   enforce_retention(now);
+  put_hist_->observe(timer.seconds());
 }
 
 void DiskStorage::evict(std::uint64_t id) {
@@ -241,7 +278,9 @@ void DiskStorage::evict(std::uint64_t id) {
   if (it == entries_.end()) return;
   total_bytes_ -= it->second.bytes;
   entries_.erase(it);
-  ++evicted_;
+  evicted_->add();
+  records_gauge_->set(static_cast<std::int64_t>(entries_.size()));
+  bytes_gauge_->set(static_cast<std::int64_t>(total_bytes_));
   std::error_code ec;
   fs::remove(job_path(id), ec);  // best-effort; the journal is truth
   append_event("{\"event\": \"evict\", \"id\": " + std::to_string(id) + "}");
@@ -310,7 +349,9 @@ void DiskStorage::recover() {
       }
     }
   }
-  recovered_ = entries_.size();
+  recovered_->add(entries_.size());
+  records_gauge_->set(static_cast<std::int64_t>(entries_.size()));
+  bytes_gauge_->set(static_cast<std::int64_t>(total_bytes_));
 
   // Jobs admitted but never finished died with the previous process.
   // First try to salvage: the payload may have been written even
@@ -333,7 +374,7 @@ void DiskStorage::recover() {
                        : record.result.ok      ? JobState::kDone
                                                : JobState::kFailed;
         salvaged = true;
-        ++recovered_;
+        recovered_->add();
       } catch (const std::exception&) {
         record.result = pipeline::PipelineResult{};
       }
@@ -346,7 +387,7 @@ void DiskStorage::recover() {
       record.result.error =
           "job lost in server restart (was queued or running)";
       record.result.failed_stage = pipeline::Stage::kLoad;
-      ++lost_;
+      lost_->add();
     }
     write_record(record, unix_now());
   }
@@ -394,6 +435,7 @@ void DiskStorage::compact_index() {
 std::optional<JobRecord> DiskStorage::get(std::uint64_t id) const {
   const auto it = entries_.find(id);
   if (it == entries_.end()) return std::nullopt;
+  const util::WallTimer timer;
   const Entry& entry = it->second;
   JobRecord record;
   record.id = id;
@@ -407,6 +449,7 @@ std::optional<JobRecord> DiskStorage::get(std::uint64_t id) const {
     contents << in.rdbuf();
     try {
       record.result = pipeline::read_job_json(contents.str());
+      get_hist_->observe(timer.seconds());
       return record;
     } catch (const std::exception&) {
       // fall through to the synthesized error record
@@ -419,6 +462,7 @@ std::optional<JobRecord> DiskStorage::get(std::uint64_t id) const {
   record.result.ok = false;
   record.result.cancelled = entry.state == JobState::kCancelled;
   record.result.error = "stored result unreadable: " + job_path(id);
+  get_hist_->observe(timer.seconds());
   return record;
 }
 
@@ -479,9 +523,9 @@ StorageStats DiskStorage::stats() const {
   s.durable = true;
   s.records = entries_.size();
   s.bytes = total_bytes_;
-  s.evicted = evicted_;
-  s.recovered = recovered_;
-  s.lost = lost_;
+  s.evicted = static_cast<std::size_t>(evicted_->value());
+  s.recovered = static_cast<std::size_t>(recovered_->value());
+  s.lost = static_cast<std::size_t>(lost_->value());
   return s;
 }
 

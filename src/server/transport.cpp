@@ -13,12 +13,14 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
 
 #include "net_util.hpp"
 #include "phes/server/server.hpp"
+#include "phes/util/timer.hpp"
 
 namespace phes::server {
 
@@ -209,6 +211,7 @@ TransportServer::TransportServer(
   if (transports_.empty()) {
     throw std::runtime_error("TransportServer: no transports");
   }
+  resolve_instruments();
 }
 
 TransportServer::TransportServer(JobServer& server,
@@ -216,6 +219,26 @@ TransportServer::TransportServer(JobServer& server,
                                  TransportLimits limits)
     : server_(server), limits_(limits) {
   transports_.push_back(std::move(transport));
+  resolve_instruments();
+}
+
+void TransportServer::resolve_instruments() {
+  obs::MetricsRegistry& registry = server_.metrics_registry();
+  accepted_ctr_ = &registry.counter("phes_transport_accepted_total");
+  requests_ctr_ = &registry.counter("phes_transport_requests_total");
+  inline_requests_ctr_ =
+      &registry.counter("phes_transport_inline_requests_total");
+  dispatched_ctr_ = &registry.counter("phes_transport_dispatched_total");
+  rejected_ctr_ = &registry.counter("phes_transport_rejected_total");
+  auth_failures_ctr_ =
+      &registry.counter("phes_transport_auth_failures_total");
+  oversized_ctr_ = &registry.counter("phes_transport_oversized_lines_total");
+  open_connections_gauge_ =
+      &registry.gauge("phes_transport_open_connections");
+  accept_to_auth_hist_ =
+      &registry.histogram("phes_transport_accept_to_auth_seconds");
+  inline_handle_hist_ =
+      &registry.histogram("phes_transport_inline_handle_seconds");
 }
 
 TransportServer::~TransportServer() { stop(); }
@@ -273,7 +296,8 @@ void TransportServer::start() {
             completions_.emplace_back(token, std::move(outcome));
           }
           notify_loop();
-        });
+        },
+        &server_.metrics_registry());
   }
   started_ = true;
   loop_thread_ = std::thread([this] { loop(); });
@@ -292,10 +316,7 @@ void TransportServer::stop() {
       ::shutdown(fd, SHUT_RDWR);
       ::close(fd);
     }
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      stats_.open_connections = 0;
-    }
+    open_connections_gauge_->set(0);
     connections_.clear();
     token_to_fd_.clear();
     for (std::size_t i = 0; i < listen_fds_.size(); ++i) {
@@ -387,6 +408,7 @@ void TransportServer::accept_ready(std::size_t listener_index) {
     conn->transport = transports_[listener_index].get();
     conn->transport->configure_connection(fd);
     conn->authed = !conn->transport->requires_auth();
+    conn->accepted_at = std::chrono::steady_clock::now();
     conn->armed_events = EPOLLIN;
     epoll_event ev{};
     ev.events = EPOLLIN;
@@ -397,9 +419,8 @@ void TransportServer::accept_ready(std::size_t listener_index) {
     }
     token_to_fd_[conn->token] = fd;
     connections_.emplace(fd, std::move(conn));
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.accepted;
-    ++stats_.open_connections;
+    accepted_ctr_->add();
+    open_connections_gauge_->add();
   }
 }
 
@@ -477,11 +498,8 @@ void TransportServer::process_buffer(Connection& conn) {
 
 void TransportServer::reject_oversized(Connection& conn,
                                        std::size_t max_line) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.oversized_lines;
-    if (!conn.authed) ++stats_.auth_failures;
-  }
+  oversized_ctr_->add();
+  if (!conn.authed) auth_failures_ctr_->add();
   // An unauthenticated peer flooding over-bound lines never reaches
   // the auth op: refuse and close, like any other pre-auth
   // misbehaviour.  Authenticated connections survive (the line was
@@ -504,10 +522,7 @@ void TransportServer::handle_line(Connection& conn, const std::string& line) {
       ok = false;
     }
     if (!ok) {
-      {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.auth_failures;
-      }
+      auth_failures_ctr_->add();
       // Close once the refusal is flushed (enqueue's write path honours
       // close_after_flush, or EPOLLOUT finishes the job later).
       conn.close_after_flush = true;
@@ -516,13 +531,14 @@ void TransportServer::handle_line(Connection& conn, const std::string& line) {
       return;
     }
     conn.authed = true;
+    accept_to_auth_hist_->observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      conn.accepted_at)
+            .count());
     enqueue(conn, "{\"ok\": true, \"op\": \"auth\"}");
     return;
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.requests;
-  }
+  requests_ctr_->add();
   if (!dispatch_pool_) {
     // Inline mode (dispatch_workers == 0): a submit hitting a full
     // queue blocks the loop here until a worker frees a slot.
@@ -544,15 +560,14 @@ void TransportServer::handle_line(Connection& conn, const std::string& line) {
     } catch (const std::exception&) {
     }
     if (!parsed || is_fast_op(request)) {
-      {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.inline_requests;
-      }
-      finish_outcome(conn, parsed ? handle_request(server_, request,
-                                                   [this] {
-                                                     return snapshot();
-                                                   })
-                                  : handle_request(server_, line));
+      inline_requests_ctr_->add();
+      const util::WallTimer inline_timer;
+      RequestOutcome outcome =
+          parsed ? handle_request(server_, request,
+                                  [this] { return snapshot(); })
+                 : handle_request(server_, line);
+      inline_handle_hist_->observe(inline_timer.seconds());
+      finish_outcome(conn, outcome);
       return;
     }
   }
@@ -600,16 +615,12 @@ void TransportServer::pump_dispatch(Connection& conn) {
     if (dispatch_pool_->try_submit(conn.token, conn.pending.front())) {
       conn.pending.pop_front();
       conn.inflight = true;
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.dispatched;
+      dispatched_ctr_->add();
       return;
     }
     // Pool queue full: answer in order rather than stalling the loop.
     conn.pending.pop_front();
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.rejected;
-    }
+    rejected_ctr_->add();
     enqueue(conn, "{\"ok\": false, \"error\": \"server overloaded: "
                   "dispatch queue full\"}");
     if (connections_.count(fd) == 0) return;  // conn destroyed
@@ -748,8 +759,7 @@ void TransportServer::close_connection(int fd) {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);
   connections_.erase(it);
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  --stats_.open_connections;
+  open_connections_gauge_->sub();
 }
 
 void TransportServer::note_shutdown(bool drain) {
@@ -774,8 +784,21 @@ bool TransportServer::shutdown_requested() const {
 }
 
 TransportStats TransportServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  // A view over the registry-backed instruments: each field is one
+  // relaxed atomic load (no cross-field consistency is promised, same
+  // as the old mutex snapshot taken between loop iterations).
+  TransportStats s;
+  s.accepted = static_cast<std::size_t>(accepted_ctr_->value());
+  s.open_connections =
+      static_cast<std::size_t>(open_connections_gauge_->value());
+  s.requests = static_cast<std::size_t>(requests_ctr_->value());
+  s.inline_requests =
+      static_cast<std::size_t>(inline_requests_ctr_->value());
+  s.dispatched = static_cast<std::size_t>(dispatched_ctr_->value());
+  s.rejected = static_cast<std::size_t>(rejected_ctr_->value());
+  s.auth_failures = static_cast<std::size_t>(auth_failures_ctr_->value());
+  s.oversized_lines = static_cast<std::size_t>(oversized_ctr_->value());
+  return s;
 }
 
 DispatchStats TransportServer::dispatch_stats() const {
@@ -784,17 +807,15 @@ DispatchStats TransportServer::dispatch_stats() const {
 
 TransportSnapshot TransportServer::snapshot() const {
   TransportSnapshot s;
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    s.accepted = stats_.accepted;
-    s.open_connections = stats_.open_connections;
-    s.requests = stats_.requests;
-    s.inline_requests = stats_.inline_requests;
-    s.dispatched = stats_.dispatched;
-    s.rejected = stats_.rejected;
-    s.oversized_lines = stats_.oversized_lines;
-    s.auth_failures = stats_.auth_failures;
-  }
+  const TransportStats t = stats();
+  s.accepted = t.accepted;
+  s.open_connections = t.open_connections;
+  s.requests = t.requests;
+  s.inline_requests = t.inline_requests;
+  s.dispatched = t.dispatched;
+  s.rejected = t.rejected;
+  s.oversized_lines = t.oversized_lines;
+  s.auth_failures = t.auth_failures;
   if (dispatch_pool_) {
     const DispatchStats d = dispatch_pool_->stats();
     s.dispatch_workers = d.workers;

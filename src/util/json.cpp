@@ -226,6 +226,12 @@ const std::vector<JsonValue>& JsonValue::items() const {
   return items_;
 }
 
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (type_ != Type::kObject) throw std::runtime_error("JSON: not an object");
+  return members_;
+}
+
 const JsonValue* JsonValue::find(const std::string& key) const {
   if (type_ != Type::kObject) return nullptr;
   for (const auto& [k, v] : members_) {
