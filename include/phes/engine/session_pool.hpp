@@ -36,10 +36,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 
 #include "phes/engine/session.hpp"
 #include "phes/macromodel/simo_realization.hpp"
+#include "phes/util/sync.hpp"
 
 namespace phes::engine {
 
@@ -125,13 +125,13 @@ class SessionPool {
   /// Check out a session for `realization`'s model.  An idle session
   /// with the same content hash (verified by exact comparison) is
   /// reused; otherwise `realization` is moved into a fresh session.
-  [[nodiscard]] SessionLease checkout(
-      macromodel::SimoRealization realization);
+  [[nodiscard]] SessionLease checkout(macromodel::SimoRealization realization)
+      PHES_EXCLUDES(mutex_);
 
   /// Drop every idle session (leased ones are unaffected).
-  void clear_idle();
+  void clear_idle() PHES_EXCLUDES(mutex_);
 
-  [[nodiscard]] SessionPoolStats stats() const;
+  [[nodiscard]] SessionPoolStats stats() const PHES_EXCLUDES(mutex_);
   [[nodiscard]] const SessionPoolOptions& options() const noexcept {
     return options_;
   }
@@ -150,22 +150,22 @@ class SessionPool {
     std::size_t bytes = 0;
   };
 
-  void give_back(Entry* entry);
-  void evict_over_budget_locked();
+  void give_back(Entry* entry) PHES_EXCLUDES(mutex_);
+  void evict_over_budget_locked() PHES_REQUIRES(mutex_);
 
   SessionPoolOptions options_;
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   /// Idle entries, most recently used first.
-  std::list<std::unique_ptr<Entry>> idle_;
-  std::size_t idle_bytes_ = 0;
-  std::size_t leased_ = 0;
-  std::size_t checkouts_ = 0;
-  std::size_t pool_hits_ = 0;
-  std::size_t creations_ = 0;
-  std::size_t returns_ = 0;
-  std::size_t restores_ = 0;
-  std::size_t evictions_ = 0;
-  std::size_t collisions_ = 0;
+  std::list<std::unique_ptr<Entry>> idle_ PHES_GUARDED_BY(mutex_);
+  std::size_t idle_bytes_ PHES_GUARDED_BY(mutex_) = 0;
+  std::size_t leased_ PHES_GUARDED_BY(mutex_) = 0;
+  std::size_t checkouts_ PHES_GUARDED_BY(mutex_) = 0;
+  std::size_t pool_hits_ PHES_GUARDED_BY(mutex_) = 0;
+  std::size_t creations_ PHES_GUARDED_BY(mutex_) = 0;
+  std::size_t returns_ PHES_GUARDED_BY(mutex_) = 0;
+  std::size_t restores_ PHES_GUARDED_BY(mutex_) = 0;
+  std::size_t evictions_ PHES_GUARDED_BY(mutex_) = 0;
+  std::size_t collisions_ PHES_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace phes::engine

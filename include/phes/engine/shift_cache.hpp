@@ -23,10 +23,10 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "phes/hamiltonian/shift_invert.hpp"
 #include "phes/la/types.hpp"
+#include "phes/util/sync.hpp"
 
 namespace phes::engine {
 
@@ -50,19 +50,19 @@ class ShiftFactorizationCache {
   /// held; exceptions from it propagate (nothing is cached).  The
   /// least-recently-used entry is evicted when the cache is full.
   [[nodiscard]] OpPtr acquire(std::uint64_t revision, la::Complex theta,
-                              const Builder& build);
+                              const Builder& build) PHES_EXCLUDES(mutex_);
 
   /// Drop every entry with revision < `revision` (residue update:
   /// operators against the old C matrix are invalid).
-  void invalidate_before(std::uint64_t revision);
+  void invalidate_before(std::uint64_t revision) PHES_EXCLUDES(mutex_);
 
   /// Drop everything (counters are kept).
-  void clear();
+  void clear() PHES_EXCLUDES(mutex_);
 
-  [[nodiscard]] bool contains(std::uint64_t revision,
-                              la::Complex theta) const;
+  [[nodiscard]] bool contains(std::uint64_t revision, la::Complex theta)
+      const PHES_EXCLUDES(mutex_);
 
-  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] CacheStats stats() const PHES_EXCLUDES(mutex_);
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
@@ -77,13 +77,13 @@ class ShiftFactorizationCache {
     std::list<Key>::iterator lru_pos;  ///< position in lru_ (front = MRU)
   };
 
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   std::size_t capacity_;
-  std::list<Key> lru_;  ///< most recent at front
-  std::map<Key, Entry> entries_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
-  std::size_t evictions_ = 0;
+  std::list<Key> lru_ PHES_GUARDED_BY(mutex_);  ///< most recent at front
+  std::map<Key, Entry> entries_ PHES_GUARDED_BY(mutex_);
+  std::size_t hits_ PHES_GUARDED_BY(mutex_) = 0;
+  std::size_t misses_ PHES_GUARDED_BY(mutex_) = 0;
+  std::size_t evictions_ PHES_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace phes::engine

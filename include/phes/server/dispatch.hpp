@@ -22,19 +22,18 @@
 // shut down, either unblocks) until stop() returns.
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "phes/server/protocol.hpp"
 #include "phes/util/metrics.hpp"
+#include "phes/util/sync.hpp"
 
 namespace phes::server {
 
@@ -68,13 +67,14 @@ class DispatchPool {
 
   /// Enqueue one request.  False when the queue is full or the pool is
   /// stopping — never blocks (the caller is the event loop).
-  bool try_submit(std::uint64_t conn_token, std::string line);
+  bool try_submit(std::uint64_t conn_token, std::string line)
+      PHES_EXCLUDES(mutex_);
 
   /// Drop queued tasks, join the workers (in-flight handlers finish).
   /// Idempotent.
-  void stop();
+  void stop() PHES_EXCLUDES(mutex_);
 
-  [[nodiscard]] DispatchStats stats() const;
+  [[nodiscard]] DispatchStats stats() const PHES_EXCLUDES(mutex_);
 
  private:
   struct Task {
@@ -84,17 +84,17 @@ class DispatchPool {
     std::chrono::steady_clock::time_point enqueued_at{};
   };
 
-  void worker_loop();
+  void worker_loop() PHES_EXCLUDES(mutex_);
 
   const std::size_t capacity_;
   Handler handler_;
   Completion on_complete_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::deque<Task> queue_;
-  bool stopping_ = false;
-  std::size_t peak_depth_ = 0;
+  mutable util::Mutex mutex_;
+  util::CondVar work_available_;
+  std::deque<Task> queue_ PHES_GUARDED_BY(mutex_);
+  bool stopping_ PHES_GUARDED_BY(mutex_) = false;
+  std::size_t peak_depth_ PHES_GUARDED_BY(mutex_) = 0;
 
   /// Registry-backed counters (the stats op reads the same values).
   std::unique_ptr<obs::MetricsRegistry> owned_registry_;

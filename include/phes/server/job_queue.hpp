@@ -10,17 +10,16 @@
 // that has not been popped yet.
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "phes/pipeline/job.hpp"
 #include "phes/util/metrics.hpp"
+#include "phes/util/sync.hpp"
 
 namespace phes::server {
 
@@ -60,36 +59,37 @@ class JobQueue {
 
   /// Blocks while the queue is full.  Returns false (dropping `item`)
   /// when the queue is closed before space opens up.
-  bool push(QueuedJob item);
+  bool push(QueuedJob item) PHES_EXCLUDES(mutex_);
 
   /// Blocks while the queue is empty.  Returns nullopt only after
   /// close() AND the backlog has drained.
-  [[nodiscard]] std::optional<QueuedJob> pop();
+  [[nodiscard]] std::optional<QueuedJob> pop() PHES_EXCLUDES(mutex_);
 
   /// Remove a not-yet-popped job.  False when the id is absent (it was
   /// already popped, or never queued here).
-  bool remove(std::uint64_t id);
+  bool remove(std::uint64_t id) PHES_EXCLUDES(mutex_);
 
   /// Remove and return everything still queued (an aborting shutdown
   /// uses this to mark the backlog cancelled).
-  [[nodiscard]] std::vector<QueuedJob> drain();
+  [[nodiscard]] std::vector<QueuedJob> drain() PHES_EXCLUDES(mutex_);
 
   /// Reject future pushes and wake every waiter.  Idempotent.
-  void close();
+  void close() PHES_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t size() const PHES_EXCLUDES(mutex_);
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  [[nodiscard]] bool closed() const;
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] bool closed() const PHES_EXCLUDES(mutex_);
+  [[nodiscard]] Stats stats() const PHES_EXCLUDES(mutex_);
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable space_available_;
-  std::condition_variable work_available_;
-  std::deque<QueuedJob> queue_;
-  bool closed_ = false;
-  std::size_t peak_size_ = 0;  ///< max-tracking needs the mutex anyway
+  mutable util::Mutex mutex_;
+  util::CondVar space_available_;
+  util::CondVar work_available_;
+  std::deque<QueuedJob> queue_ PHES_GUARDED_BY(mutex_);
+  bool closed_ PHES_GUARDED_BY(mutex_) = false;
+  /// Max-tracking needs the mutex anyway.
+  std::size_t peak_size_ PHES_GUARDED_BY(mutex_) = 0;
 
   /// Stats counters are registry-backed (the stats op is a view over
   /// the metrics registry, not a parallel bookkeeping path).

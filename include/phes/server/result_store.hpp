@@ -15,13 +15,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "phes/pipeline/job.hpp"
 #include "phes/server/storage.hpp"
+#include "phes/util/sync.hpp"
 
 namespace phes::server {
 
@@ -84,13 +84,16 @@ class ResultStore {
  private:
   /// Move a live record into the backend as `state` with `result`.
   void finish_locked(std::map<std::uint64_t, JobRecord>::iterator it,
-                     JobState state, pipeline::PipelineResult result);
+                     JobState state, pipeline::PipelineResult result)
+      PHES_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::unique_ptr<Storage> storage_;
+  mutable util::Mutex mutex_;
+  /// The pointer is set once at construction; the Storage object it
+  /// names is single-threaded and called only under mutex_.
+  const std::unique_ptr<Storage> storage_ PHES_PT_GUARDED_BY(mutex_);
   /// Live queued/running records only; terminal records live in the
   /// backend.
-  std::map<std::uint64_t, JobRecord> records_;
+  std::map<std::uint64_t, JobRecord> records_ PHES_GUARDED_BY(mutex_);
 };
 
 }  // namespace phes::server

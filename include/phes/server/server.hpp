@@ -18,12 +18,10 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -35,6 +33,7 @@
 #include "phes/server/result_store.hpp"
 #include "phes/server/trace.hpp"
 #include "phes/util/metrics.hpp"
+#include "phes/util/sync.hpp"
 #include "phes/util/thread_pool.hpp"
 
 namespace phes::server {
@@ -177,9 +176,9 @@ class JobServer {
   void log_slow_job(const JobTrace& trace) const;
   /// Wakes wait()ers; takes finished_mutex_ briefly so a state change
   /// cannot slip between a waiter's predicate check and its block.
-  void notify_finished();
+  void notify_finished() PHES_EXCLUDES(finished_mutex_);
   [[nodiscard]] std::shared_ptr<std::atomic<bool>> cancel_flag(
-      std::uint64_t id) const;
+      std::uint64_t id) const PHES_EXCLUDES(flags_mutex_);
 
   ServerOptions options_;
   std::size_t worker_count_ = 1;
@@ -205,9 +204,9 @@ class JobServer {
   /// One duration histogram per pipeline stage, indexed by Stage.
   std::array<obs::Histogram*, 6> stage_hist_{};
 
-  mutable std::mutex flags_mutex_;
+  mutable util::Mutex flags_mutex_;
   std::unordered_map<std::uint64_t, std::shared_ptr<std::atomic<bool>>>
-      cancel_flags_;
+      cancel_flags_ PHES_GUARDED_BY(flags_mutex_);
 
   std::function<void(std::uint64_t, pipeline::Stage)> stage_observer_;
 
@@ -217,11 +216,14 @@ class JobServer {
   /// accepting() gate self-flag so none can slip in unflagged between
   /// the abort's cancel sweep and the queue close.
   std::atomic<bool> aborting_{false};
-  std::mutex shutdown_mutex_;
-  bool shutdown_done_ = false;
+  util::Mutex shutdown_mutex_;
+  bool shutdown_done_ PHES_GUARDED_BY(shutdown_mutex_) = false;
 
-  mutable std::mutex finished_mutex_;
-  std::condition_variable finished_cv_;
+  /// Guards no data of its own: wait() predicates read the (internally
+  /// synchronized) ResultStore.  The lock only closes the window
+  /// between a waiter's predicate check and its block.
+  mutable util::Mutex finished_mutex_;
+  util::CondVar finished_cv_;
 
   /// Declared last: destroyed (joined) first, while queue/store live.
   util::ThreadPool pool_;

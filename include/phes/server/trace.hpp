@@ -18,12 +18,12 @@
 #include <cstdint>
 #include <deque>
 #include <fstream>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "phes/pipeline/job.hpp"
+#include "phes/util/sync.hpp"
 
 namespace phes::util {
 class JsonValue;
@@ -93,18 +93,22 @@ class TraceStore {
 
   /// Keep the trace (evicting the oldest past capacity) and append it
   /// to the trace file when one is open.
-  void record(JobTrace trace);
+  void record(JobTrace trace) PHES_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::optional<JobTrace> get(std::uint64_t id) const;
-  [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] bool file_open() const noexcept { return file_ok_; }
+  [[nodiscard]] std::optional<JobTrace> get(std::uint64_t id) const
+      PHES_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t size() const PHES_EXCLUDES(mutex_);
+  [[nodiscard]] bool file_open() const PHES_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
+    return file_ok_;
+  }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::deque<JobTrace> ring_;  ///< oldest first
-  std::ofstream file_;
-  bool file_ok_ = false;
+  mutable util::Mutex mutex_;
+  std::deque<JobTrace> ring_ PHES_GUARDED_BY(mutex_);  ///< oldest first
+  std::ofstream file_ PHES_GUARDED_BY(mutex_);
+  bool file_ok_ PHES_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace phes::server

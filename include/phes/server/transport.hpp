@@ -41,12 +41,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -56,6 +54,7 @@
 #include "phes/server/dispatch.hpp"
 #include "phes/server/protocol.hpp"
 #include "phes/util/metrics.hpp"
+#include "phes/util/sync.hpp"
 
 namespace phes::server {
 
@@ -206,8 +205,9 @@ class TransportServer {
 
   /// Block until a client requests shutdown (or stop() is called).
   /// Returns the requested drain mode (true when stopped locally).
-  bool wait_shutdown();
-  [[nodiscard]] bool shutdown_requested() const;
+  bool wait_shutdown() PHES_EXCLUDES(shutdown_mutex_);
+  [[nodiscard]] bool shutdown_requested() const
+      PHES_EXCLUDES(shutdown_mutex_);
 
   [[nodiscard]] TransportStats stats() const;
   /// Dispatch-pool counters (all zero when dispatch_workers == 0).
@@ -255,7 +255,7 @@ class TransportServer {
   /// Feed the connection's pending frames to the pool (one in flight).
   void pump_dispatch(Connection& conn);
   /// Apply finished pool outcomes queued by the completion callback.
-  void drain_completions();
+  void drain_completions() PHES_EXCLUDES(completions_mutex_);
   void enqueue(Connection& conn, const std::string& response_line);
   /// Answer an over-bound request line (error response; pre-auth
   /// connections are additionally closed).  The caller has already
@@ -266,7 +266,7 @@ class TransportServer {
   void flush_blocking(Connection& conn);
   void update_epoll(Connection& conn);
   void close_connection(int fd);
-  void note_shutdown(bool drain);
+  void note_shutdown(bool drain) PHES_EXCLUDES(shutdown_mutex_);
   /// Kick the loop out of epoll_wait (completion arrived / stop()).
   void notify_loop();
   /// Resolve the instrument handles from the JobServer's registry
@@ -294,8 +294,9 @@ class TransportServer {
   std::uint64_t next_token_ = 0;
 
   std::unique_ptr<DispatchPool> dispatch_pool_;  ///< null when inline
-  std::mutex completions_mutex_;
-  std::deque<std::pair<std::uint64_t, RequestOutcome>> completions_;
+  util::Mutex completions_mutex_;
+  std::deque<std::pair<std::uint64_t, RequestOutcome>> completions_
+      PHES_GUARDED_BY(completions_mutex_);
 
   // Transport-layer instruments, resolved once at construction from the
   // JobServer's registry; TransportStats is a view over these (every
@@ -311,10 +312,10 @@ class TransportServer {
   obs::Histogram* accept_to_auth_hist_ = nullptr;
   obs::Histogram* inline_handle_hist_ = nullptr;
 
-  mutable std::mutex shutdown_mutex_;
-  std::condition_variable shutdown_cv_;
-  bool shutdown_requested_ = false;
-  bool drain_ = true;
+  mutable util::Mutex shutdown_mutex_;
+  util::CondVar shutdown_cv_;
+  bool shutdown_requested_ PHES_GUARDED_BY(shutdown_mutex_) = false;
+  bool drain_ PHES_GUARDED_BY(shutdown_mutex_) = true;
 };
 
 /// Constant-time token comparison (length leaks, contents do not).

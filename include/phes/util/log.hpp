@@ -1,0 +1,25 @@
+#pragma once
+// Serialized stderr diagnostics.
+//
+// Worker threads (DiskStorage put/journal failures, TraceStore sink
+// failures, slow-job breakdowns) all report to stderr; raw fprintf
+// calls from concurrent workers interleave mid-line.  Every stderr
+// diagnostic goes through log_line(), which formats the full line
+// first and writes it under one process-wide util::Mutex, so lines
+// from different threads never shear.
+//
+// This is intentionally not a logging framework: one level-free
+// function, stderr only, no timestamps (the server's NDJSON trace file
+// carries the structured record; this is for humans watching a
+// terminal).
+
+#include <string>
+
+namespace phes::util {
+
+/// Write "[component] message\n" to stderr atomically with respect to
+/// every other log_line() caller.  Never throws; a write failure is
+/// silently dropped (diagnostics must not take the process down).
+void log_line(const std::string& component, const std::string& message);
+
+}  // namespace phes::util

@@ -31,9 +31,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "phes/util/sync.hpp"
 
 namespace phes::util {
 class JsonValue;
@@ -217,10 +218,15 @@ class MetricsRegistry {
   static constexpr std::size_t kShards = 8;
 
   struct Shard {
-    mutable std::mutex mutex;
-    std::map<std::string, std::unique_ptr<Counter>> counters;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges;
-    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+    mutable util::Mutex mutex;
+    /// Map structure is what the mutex protects; the instruments
+    /// themselves are atomics, mutated without it.
+    std::map<std::string, std::unique_ptr<Counter>> counters
+        PHES_GUARDED_BY(mutex);
+    std::map<std::string, std::unique_ptr<Gauge>> gauges
+        PHES_GUARDED_BY(mutex);
+    std::map<std::string, std::unique_ptr<Histogram>> histograms
+        PHES_GUARDED_BY(mutex);
   };
 
   [[nodiscard]] Shard& shard_for(const std::string& name) const;

@@ -7,13 +7,13 @@
 // enqueue further tasks (the scheduler's split rule does), so shutdown
 // waits for full quiescence, not just queue emptiness.
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "phes/util/sync.hpp"
 
 namespace phes::util {
 
@@ -27,26 +27,26 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task.  Safe to call from within a running task.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) PHES_EXCLUDES(mutex_);
 
   /// Block until every submitted task (including tasks submitted by
   /// running tasks) has completed.
-  void wait_idle();
+  void wait_idle() PHES_EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t thread_count() const noexcept {
     return workers_.size();
   }
 
  private:
-  void worker_loop();
+  void worker_loop() PHES_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar idle_;
+  std::deque<std::function<void()>> queue_ PHES_GUARDED_BY(mutex_);
+  std::size_t in_flight_ PHES_GUARDED_BY(mutex_) = 0;
+  bool stopping_ PHES_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace phes::util

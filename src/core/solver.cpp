@@ -3,11 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 
 #include "phes/util/check.hpp"
+#include "phes/util/sync.hpp"
 #include "phes/util/timer.hpp"
 
 namespace phes::core {
@@ -113,23 +112,26 @@ SolverResult ParallelHamiltonianEigensolver::run_scheduler(
     const SolveContext& ctx, double band_lo, double band_hi) const {
   SolverResult result;
 
-  std::mutex mutex;
-  std::condition_variable cv;
+  util::Mutex mutex;
+  util::CondVar cv;
   std::size_t failures = 0;
   const double min_width =
       std::max(opt.resolution * (band_hi - band_lo), 1e-300);
 
+  // The worker holds the lock around the scheduler and drops it for the
+  // shift iteration; the explicit lock()/unlock() calls are balanced on
+  // every path so the analysis can track the capability across the loop.
   auto worker = [&](std::size_t tid) {
-    std::unique_lock lock(mutex);
+    mutex.lock();
     while (!sched.done()) {
       auto task = sched.acquire();
       if (!task) {
         // In-flight shifts may still split their intervals; wait for a
         // completion (or termination) signal.
-        cv.wait(lock);
+        cv.wait(mutex);
         continue;
       }
-      lock.unlock();
+      mutex.unlock();
 
       // Initial radius per Eq. 23: alpha * half-width, slight overlap
       // with the adjacent intervals; a warm-started seed interval
@@ -157,7 +159,7 @@ SolverResult ParallelHamiltonianEigensolver::run_scheduler(
       }
       const double seconds = shift_timer.seconds();
 
-      lock.lock();
+      mutex.lock();
       if (ok) {
         ShiftRecord rec;
         rec.center = task->shift;
@@ -180,6 +182,7 @@ SolverResult ParallelHamiltonianEigensolver::run_scheduler(
       }
       cv.notify_all();
     }
+    mutex.unlock();
     cv.notify_all();
   };
 

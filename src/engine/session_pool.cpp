@@ -116,7 +116,7 @@ SessionLease SessionPool::checkout(macromodel::SimoRealization realization) {
   std::unique_ptr<Entry> entry;
   bool reused = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++checkouts_;
     for (auto it = idle_.begin(); it != idle_.end(); ++it) {
       if ((*it)->hash != hash) continue;
@@ -170,7 +170,7 @@ void SessionPool::give_back(Entry* raw) {
   if (options_.reset_warm_start) entry->session->clear_warm_start();
   entry->bytes = entry->session->approx_memory_bytes();
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   ++returns_;
   if (restored) ++restores_;
   --leased_;
@@ -189,14 +189,14 @@ void SessionPool::evict_over_budget_locked() {
 }
 
 void SessionPool::clear_idle() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   evictions_ += idle_.size();
   idle_.clear();
   idle_bytes_ = 0;
 }
 
 SessionPoolStats SessionPool::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   SessionPoolStats s;
   s.checkouts = checkouts_;
   s.pool_hits = pool_hits_;

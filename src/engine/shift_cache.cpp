@@ -14,7 +14,7 @@ ShiftFactorizationCache::OpPtr ShiftFactorizationCache::acquire(
     std::uint64_t revision, la::Complex theta, const Builder& build) {
   const Key key{revision, theta.real(), theta.imag()};
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++hits_;
@@ -30,7 +30,7 @@ ShiftFactorizationCache::OpPtr ShiftFactorizationCache::acquire(
   util::check(op != nullptr,
               "ShiftFactorizationCache: builder returned null");
 
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
     // Another thread built the same key while we were; keep the first.
@@ -48,7 +48,7 @@ ShiftFactorizationCache::OpPtr ShiftFactorizationCache::acquire(
 }
 
 void ShiftFactorizationCache::invalidate_before(std::uint64_t revision) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->first.revision < revision) {
       lru_.erase(it->second.lru_pos);
@@ -60,19 +60,19 @@ void ShiftFactorizationCache::invalidate_before(std::uint64_t revision) {
 }
 
 void ShiftFactorizationCache::clear() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   entries_.clear();
   lru_.clear();
 }
 
 bool ShiftFactorizationCache::contains(std::uint64_t revision,
                                        la::Complex theta) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return entries_.count(Key{revision, theta.real(), theta.imag()}) > 0;
 }
 
 CacheStats ShiftFactorizationCache::stats() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return CacheStats{hits_, misses_, evictions_, entries_.size()};
 }
 

@@ -34,7 +34,7 @@ DispatchPool::~DispatchPool() { stop(); }
 
 bool DispatchPool::try_submit(std::uint64_t conn_token, std::string line) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (stopping_ || queue_.size() >= capacity_) {
       rejected_->add();
       return false;
@@ -53,9 +53,8 @@ void DispatchPool::worker_loop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock,
-                           [&] { return stopping_ || !queue_.empty(); });
+      util::MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_available_.wait(mutex_);
       if (stopping_) return;  // queued tasks are dropped on stop
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -75,7 +74,7 @@ void DispatchPool::worker_loop() {
 
 void DispatchPool::stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (stopping_) return;
     stopping_ = true;
     queue_.clear();
@@ -88,7 +87,7 @@ void DispatchPool::stop() {
 }
 
 DispatchStats DispatchPool::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   DispatchStats s;
   s.workers = workers_.size();
   s.queue_depth = queue_.size();

@@ -24,69 +24,78 @@ JobQueue::JobQueue(std::size_t capacity, obs::MetricsRegistry* registry)
 }
 
 bool JobQueue::push(QueuedJob item) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  const bool blocked = queue_.size() >= capacity_ && !closed_;
-  if (blocked) push_waits_->add();
-  const util::WallTimer wait_timer;
-  space_available_.wait(
-      lock, [&] { return closed_ || queue_.size() < capacity_; });
-  // The admission-wait histogram records every push (a fast admit is a
-  // near-zero observation), so its quantiles reflect what a submitter
-  // actually experiences, not just the congested minority.
-  admission_wait_->observe(wait_timer.seconds());
-  if (closed_) return false;
-  queue_.push_back(std::move(item));
-  pushed_->add();
-  depth_->set(static_cast<std::int64_t>(queue_.size()));
-  peak_size_ = std::max(peak_size_, queue_.size());
-  lock.unlock();
-  work_available_.notify_one();
-  return true;
+  bool admitted = false;
+  {
+    util::MutexLock lock(mutex_);
+    const bool blocked = queue_.size() >= capacity_ && !closed_;
+    if (blocked) push_waits_->add();
+    const util::WallTimer wait_timer;
+    while (!closed_ && queue_.size() >= capacity_) {
+      space_available_.wait(mutex_);
+    }
+    // The admission-wait histogram records every push (a fast admit is
+    // a near-zero observation), so its quantiles reflect what a
+    // submitter actually experiences, not just the congested minority.
+    admission_wait_->observe(wait_timer.seconds());
+    if (!closed_) {
+      queue_.push_back(std::move(item));
+      pushed_->add();
+      depth_->set(static_cast<std::int64_t>(queue_.size()));
+      peak_size_ = std::max(peak_size_, queue_.size());
+      admitted = true;
+    }
+  }
+  if (admitted) work_available_.notify_one();
+  return admitted;
 }
 
 std::optional<QueuedJob> JobQueue::pop() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  work_available_.wait(lock, [&] { return closed_ || !queue_.empty(); });
-  if (queue_.empty()) return std::nullopt;  // closed and drained
-  QueuedJob item = std::move(queue_.front());
-  queue_.pop_front();
-  popped_->add();
-  depth_->set(static_cast<std::int64_t>(queue_.size()));
-  lock.unlock();
+  std::optional<QueuedJob> item;
+  {
+    util::MutexLock lock(mutex_);
+    while (!closed_ && queue_.empty()) work_available_.wait(mutex_);
+    if (queue_.empty()) return std::nullopt;  // closed and drained
+    item = std::move(queue_.front());
+    queue_.pop_front();
+    popped_->add();
+    depth_->set(static_cast<std::int64_t>(queue_.size()));
+  }
   space_available_.notify_one();
   return item;
 }
 
 bool JobQueue::remove(std::uint64_t id) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  const auto it =
-      std::find_if(queue_.begin(), queue_.end(),
-                   [id](const QueuedJob& q) { return q.id == id; });
-  if (it == queue_.end()) return false;
-  queue_.erase(it);
-  removed_->add();
-  depth_->set(static_cast<std::int64_t>(queue_.size()));
-  lock.unlock();
+  {
+    util::MutexLock lock(mutex_);
+    const auto it =
+        std::find_if(queue_.begin(), queue_.end(),
+                     [id](const QueuedJob& q) { return q.id == id; });
+    if (it == queue_.end()) return false;
+    queue_.erase(it);
+    removed_->add();
+    depth_->set(static_cast<std::int64_t>(queue_.size()));
+  }
   space_available_.notify_one();
   return true;
 }
 
 std::vector<QueuedJob> JobQueue::drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
   std::vector<QueuedJob> out;
-  out.reserve(queue_.size());
-  for (auto& q : queue_) out.push_back(std::move(q));
-  removed_->add(queue_.size());
-  queue_.clear();
-  depth_->set(0);
-  lock.unlock();
+  {
+    util::MutexLock lock(mutex_);
+    out.reserve(queue_.size());
+    for (auto& q : queue_) out.push_back(std::move(q));
+    removed_->add(queue_.size());
+    queue_.clear();
+    depth_->set(0);
+  }
   space_available_.notify_all();
   return out;
 }
 
 void JobQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     closed_ = true;
   }
   space_available_.notify_all();
@@ -94,17 +103,17 @@ void JobQueue::close() {
 }
 
 std::size_t JobQueue::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return queue_.size();
 }
 
 bool JobQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return closed_;
 }
 
 JobQueue::Stats JobQueue::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   Stats s;
   s.pushed = pushed_->value();
   s.popped = popped_->value();

@@ -12,7 +12,14 @@ namespace phes::server {
 // ---- Response composition ---------------------------------------------
 
 std::string json_quote(const std::string& text) {
-  return "\"" + pipeline::json_escape(text) + "\"";
+  // Built by append rather than operator+ chaining: GCC 12's -Wrestrict
+  // false-positives on the temporary chain under -Werror.
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  out += pipeline::json_escape(text);
+  out += '"';
+  return out;
 }
 
 std::string single_line_json(const std::string& pretty) {

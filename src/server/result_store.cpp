@@ -12,7 +12,7 @@ ResultStore::ResultStore(std::unique_ptr<Storage> storage)
     : storage_(std::move(storage)) {}
 
 void ResultStore::add(std::uint64_t id, const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   JobRecord rec;
   rec.id = id;
   rec.name = name;
@@ -22,7 +22,7 @@ void ResultStore::add(std::uint64_t id, const std::string& name) {
 }
 
 bool ResultStore::mark_running(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = records_.find(id);
   if (it == records_.end() || it->second.state != JobState::kQueued) {
     return false;
@@ -32,7 +32,7 @@ bool ResultStore::mark_running(std::uint64_t id) {
 }
 
 void ResultStore::set_stage(std::uint64_t id, pipeline::Stage stage) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = records_.find(id);
   if (it == records_.end()) return;
   it->second.stage = stage;
@@ -60,7 +60,7 @@ void ResultStore::finish_locked(
 }
 
 void ResultStore::finish(std::uint64_t id, pipeline::PipelineResult result) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = records_.find(id);
   // Absent from the live map: unknown id, or it already went terminal
   // (lost race with a queued-cancel) — either way, drop.  A terminal
@@ -73,7 +73,7 @@ void ResultStore::finish(std::uint64_t id, pipeline::PipelineResult result) {
 }
 
 bool ResultStore::mark_cancelled(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = records_.find(id);
   if (it == records_.end() || it->second.state != JobState::kQueued) {
     return false;
@@ -91,14 +91,14 @@ bool ResultStore::mark_cancelled(std::uint64_t id) {
 }
 
 std::optional<JobRecord> ResultStore::get(std::uint64_t id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = records_.find(id);
   if (it != records_.end()) return it->second;
   return storage_->get(id);
 }
 
 std::optional<JobState> ResultStore::state(std::uint64_t id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = records_.find(id);
   if (it != records_.end()) return it->second.state;
   return storage_->state(id);
@@ -121,14 +121,14 @@ JobSummary summarize(const JobRecord& rec) {
 
 std::optional<ResultStore::JobSummary> ResultStore::summary(
     std::uint64_t id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = records_.find(id);
   if (it != records_.end()) return summarize(it->second);
   return storage_->summary(id);
 }
 
 std::vector<ResultStore::JobSummary> ResultStore::summaries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   // Merge the two ascending-id sequences (terminal ids and live ids
   // can interleave: job 3 may finish while job 2 still runs).
   std::vector<JobSummary> stored = storage_->summaries();
@@ -150,7 +150,7 @@ std::vector<ResultStore::JobSummary> ResultStore::summaries() const {
 }
 
 std::vector<JobRecord> ResultStore::all() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<JobRecord> stored = storage_->all();
   std::vector<JobRecord> out;
   out.reserve(stored.size() + records_.size());
@@ -170,7 +170,7 @@ std::vector<JobRecord> ResultStore::all() const {
 }
 
 std::vector<std::size_t> ResultStore::state_counts() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<std::size_t> counts = storage_->state_counts();
   for (const auto& [id, rec] : records_) {
     ++counts[static_cast<std::size_t>(rec.state)];
@@ -179,17 +179,17 @@ std::vector<std::size_t> ResultStore::state_counts() const {
 }
 
 std::size_t ResultStore::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return records_.size() + storage_->size();
 }
 
 StorageStats ResultStore::storage_stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return storage_->stats();
 }
 
 std::uint64_t ResultStore::max_seen_id() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::uint64_t max_id = storage_->max_seen_id();
   if (!records_.empty()) max_id = std::max(max_id, records_.rbegin()->first);
   return max_id;

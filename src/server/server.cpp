@@ -1,12 +1,12 @@
 #include "phes/server/server.hpp"
 
 #include <chrono>
-#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "phes/pipeline/batch.hpp"
+#include "phes/util/log.hpp"
 #include "phes/util/timer.hpp"
 
 namespace phes::server {
@@ -89,7 +89,7 @@ std::uint64_t JobServer::submit(pipeline::PipelineJob job) {
   store_.add(id, name);
   const auto flag = std::make_shared<std::atomic<bool>>(false);
   {
-    std::lock_guard<std::mutex> lock(flags_mutex_);
+    util::MutexLock lock(flags_mutex_);
     cancel_flags_[id] = flag;
   }
   jobs_submitted_->add();
@@ -100,7 +100,7 @@ std::uint64_t JobServer::submit(pipeline::PipelineJob job) {
     // Shutdown closed the queue while we were blocked.
     store_.mark_cancelled(id);
     {
-      std::lock_guard<std::mutex> lock(flags_mutex_);
+      util::MutexLock lock(flags_mutex_);
       cancel_flags_.erase(id);
     }
     notify_finished();
@@ -120,7 +120,7 @@ bool JobServer::cancel(std::uint64_t id) {
   if (queue_.remove(id)) {
     store_.mark_cancelled(id);
     {
-      std::lock_guard<std::mutex> lock(flags_mutex_);
+      util::MutexLock lock(flags_mutex_);
       cancel_flags_.erase(id);
     }
     notify_finished();
@@ -139,7 +139,7 @@ bool JobServer::cancel(std::uint64_t id) {
 
 std::shared_ptr<std::atomic<bool>> JobServer::cancel_flag(
     std::uint64_t id) const {
-  std::lock_guard<std::mutex> lock(flags_mutex_);
+  util::MutexLock lock(flags_mutex_);
   const auto it = cancel_flags_.find(id);
   return it == cancel_flags_.end() ? nullptr : it->second;
 }
@@ -174,11 +174,12 @@ bool JobServer::wait(std::uint64_t id, double timeout_seconds) {
     return !state || is_terminal(*state);
   };
   {
-    std::unique_lock<std::mutex> lock(finished_mutex_);
+    util::MutexLock lock(finished_mutex_);
     if (timeout_seconds <= 0.0) {
-      finished_cv_.wait(lock, finished_or_gone);
+      finished_cv_.wait(finished_mutex_, finished_or_gone);
     } else if (!finished_cv_.wait_for(
-                   lock, std::chrono::duration<double>(timeout_seconds),
+                   finished_mutex_,
+                   std::chrono::duration<double>(timeout_seconds),
                    finished_or_gone)) {
       return false;
     }
@@ -189,7 +190,7 @@ bool JobServer::wait(std::uint64_t id, double timeout_seconds) {
 
 void JobServer::shutdown(bool drain) {
   {
-    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    util::MutexLock lock(shutdown_mutex_);
     if (shutdown_done_) return;
     shutdown_done_ = true;
   }
@@ -199,7 +200,7 @@ void JobServer::shutdown(bool drain) {
     // their next stage boundary.  `aborting_` is published first so a
     // submit racing past the accepting() gate self-flags (see submit).
     aborting_.store(true, std::memory_order_release);
-    std::lock_guard<std::mutex> lock(flags_mutex_);
+    util::MutexLock lock(flags_mutex_);
     for (auto& item : queue_.drain()) {
       store_.mark_cancelled(item.id);
       // Drained jobs never reach run_one, so reap their flags here.
@@ -217,7 +218,7 @@ void JobServer::shutdown(bool drain) {
 }
 
 void JobServer::notify_finished() {
-  { std::lock_guard<std::mutex> lock(finished_mutex_); }
+  { util::MutexLock lock(finished_mutex_); }
   finished_cv_.notify_all();
 }
 
@@ -239,7 +240,7 @@ void JobServer::run_one(QueuedJob item) {
   if (!store_.mark_running(id)) {
     // The record went terminal while queued (cancel race): drop it.
     {
-      std::lock_guard<std::mutex> lock(flags_mutex_);
+      util::MutexLock lock(flags_mutex_);
       cancel_flags_.erase(id);
     }
     notify_finished();
@@ -294,7 +295,7 @@ void JobServer::run_one(QueuedJob item) {
 
   store_.finish(id, std::move(result));
   {
-    std::lock_guard<std::mutex> lock(flags_mutex_);
+    util::MutexLock lock(flags_mutex_);
     cancel_flags_.erase(id);
   }
   notify_finished();
@@ -315,7 +316,7 @@ void JobServer::log_slow_job(const JobTrace& trace) const {
   }
   os << " session: solves=" << trace.solves << " warm=" << trace.warm_solves
      << " cache=" << trace.cache_hits << '/' << trace.cache_misses;
-  std::fprintf(stderr, "%s\n", os.str().c_str());
+  util::log_line("slow-job", os.str());
 }
 
 ServerStats JobServer::stats() const {

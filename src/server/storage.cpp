@@ -10,6 +10,7 @@
 
 #include "phes/pipeline/report.hpp"
 #include "phes/util/json.hpp"
+#include "phes/util/log.hpp"
 #include "phes/util/timer.hpp"
 
 namespace phes::server {
@@ -202,8 +203,13 @@ void DiskStorage::append_event(const std::string& line) {
   index_.flush();
   // A failed append (disk full, quota) is survivable, not fatal: the
   // payload file is already on disk and recover() salvages it even
-  // without its finish event — so clear the stream and keep going.
-  if (!index_) index_.clear();
+  // without its finish event — so warn, clear the stream, keep going.
+  if (!index_) {
+    util::log_line("storage", "journal append failed on '" + dir_ +
+                                  "/index.ndjson'; continuing without "
+                                  "the event");
+    index_.clear();
+  }
   journal_hist_->observe(timer.seconds());
 }
 

@@ -8,6 +8,7 @@
 
 #include "phes/pipeline/report.hpp"
 #include "phes/util/json.hpp"
+#include "phes/util/log.hpp"
 
 namespace phes::server {
 
@@ -142,23 +143,21 @@ TraceStore::TraceStore(std::size_t capacity, const std::string& trace_file)
     file_.open(trace_file, std::ios::app);
     file_ok_ = file_.good();
     if (!file_ok_) {
-      std::fprintf(stderr,
-                   "[trace] cannot open trace file '%s'; tracing to the "
-                   "in-memory ring only\n",
-                   trace_file.c_str());
+      util::log_line("trace", "cannot open trace file '" + trace_file +
+                                  "'; tracing to the in-memory ring only");
     }
   }
 }
 
 void TraceStore::record(JobTrace trace) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (file_ok_) {
     file_ << trace.to_json() << '\n';
     file_.flush();
     if (!file_.good()) {
       // Disk full / pipe gone: stop writing, keep serving the ring.
-      std::fprintf(stderr, "[trace] trace-file write failed; disabling "
-                           "the file sink\n");
+      util::log_line("trace",
+                     "trace-file write failed; disabling the file sink");
       file_ok_ = false;
     }
   }
@@ -167,7 +166,7 @@ void TraceStore::record(JobTrace trace) {
 }
 
 std::optional<JobTrace> TraceStore::get(std::uint64_t id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   // Newest-first: a re-run of a recovered id should win.
   for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
     if (it->id == id) return *it;
@@ -176,7 +175,7 @@ std::optional<JobTrace> TraceStore::get(std::uint64_t id) const {
 }
 
 std::size_t TraceStore::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return ring_.size();
 }
 

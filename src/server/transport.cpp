@@ -292,7 +292,7 @@ void TransportServer::start() {
         },
         [this](std::uint64_t token, RequestOutcome outcome) {
           {
-            std::lock_guard<std::mutex> lock(completions_mutex_);
+            util::MutexLock lock(completions_mutex_);
             completions_.emplace_back(token, std::move(outcome));
           }
           notify_loop();
@@ -630,7 +630,7 @@ void TransportServer::pump_dispatch(Connection& conn) {
 void TransportServer::drain_completions() {
   std::deque<std::pair<std::uint64_t, RequestOutcome>> batch;
   {
-    std::lock_guard<std::mutex> lock(completions_mutex_);
+    util::MutexLock lock(completions_mutex_);
     batch.swap(completions_);
   }
   for (auto& [token, outcome] : batch) {
@@ -764,7 +764,7 @@ void TransportServer::close_connection(int fd) {
 
 void TransportServer::note_shutdown(bool drain) {
   {
-    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    util::MutexLock lock(shutdown_mutex_);
     if (shutdown_requested_) return;  // first request wins
     shutdown_requested_ = true;
     drain_ = drain;
@@ -773,13 +773,13 @@ void TransportServer::note_shutdown(bool drain) {
 }
 
 bool TransportServer::wait_shutdown() {
-  std::unique_lock<std::mutex> lock(shutdown_mutex_);
-  shutdown_cv_.wait(lock, [&] { return shutdown_requested_; });
+  util::MutexLock lock(shutdown_mutex_);
+  while (!shutdown_requested_) shutdown_cv_.wait(shutdown_mutex_);
   return drain_;
 }
 
 bool TransportServer::shutdown_requested() const {
-  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  util::MutexLock lock(shutdown_mutex_);
   return shutdown_requested_;
 }
 

@@ -1,0 +1,33 @@
+#include "phes/util/log.hpp"
+
+#include <cstdio>
+
+#include "phes/util/sync.hpp"
+
+namespace phes::util {
+
+namespace {
+
+/// One process-wide mutex: stderr is one stream, so one capability.
+Mutex& log_mutex() {
+  static Mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+void log_line(const std::string& component, const std::string& message) {
+  // Compose outside the lock; hold it only for the single write.
+  std::string line;
+  line.reserve(component.size() + message.size() + 4);
+  line += '[';
+  line += component;
+  line += "] ";
+  line += message;
+  line += '\n';
+  MutexLock lock(log_mutex());
+  (void)!std::fwrite(line.data(), 1, line.size(), stderr);
+  (void)std::fflush(stderr);
+}
+
+}  // namespace phes::util

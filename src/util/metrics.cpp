@@ -219,7 +219,7 @@ MetricsRegistry::Shard& MetricsRegistry::shard_for(
 
 Counter& MetricsRegistry::counter(const std::string& name) {
   Shard& shard = shard_for(name);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   auto& slot = shard.counters[name];
   if (!slot) slot = std::make_unique<Counter>(&enabled_);
   return *slot;
@@ -227,7 +227,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
   Shard& shard = shard_for(name);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   auto& slot = shard.gauges[name];
   if (!slot) slot = std::make_unique<Gauge>(&enabled_);
   return *slot;
@@ -240,7 +240,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
   Shard& shard = shard_for(name);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   auto& slot = shard.histograms[name];
   if (!slot) {
     slot = std::make_unique<Histogram>(std::move(bounds), &enabled_);
@@ -251,7 +251,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot s;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     for (const auto& [name, c] : shard.counters) {
       s.counters[name] = c->value();
     }

@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_available_.notify_all();
@@ -25,24 +25,23 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
   work_available_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (!queue_.empty() || in_flight_ != 0) idle_.wait(mutex_);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      work_available_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_available_.wait(mutex_);
       if (stopping_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -50,7 +49,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
     }

@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <exception>
-#include <mutex>
 
 #include "phes/la/blas.hpp"
 #include "phes/la/qr.hpp"
 #include "phes/la/schur.hpp"
 #include "phes/util/check.hpp"
+#include "phes/util/sync.hpp"
 #include "phes/util/thread_pool.hpp"
 
 namespace phes::vf {
@@ -276,14 +276,14 @@ VectorFittingResult vector_fit(const macromodel::FrequencySamples& samples,
     for (std::size_t col = 0; col < p; ++col) fit_column(col);
   } else {
     util::ThreadPool pool(workers);
-    std::mutex error_mutex;
+    util::Mutex error_mutex;
     std::exception_ptr first_error;
     for (std::size_t col = 0; col < p; ++col) {
       pool.submit([&, col] {
         try {
           fit_column(col);
         } catch (...) {
-          std::lock_guard lock(error_mutex);
+          util::MutexLock lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
         }
       });

@@ -1,0 +1,43 @@
+// Positive control for the negative-compile harness: correct lock
+// discipline over the annotated sync layer.  This file MUST compile
+// cleanly under -Wthread-safety -Werror — if it does not, the harness
+// is broken (wrong flags, wrong include path), and the "expected
+// failures" below would be meaningless.
+
+#include "phes/util/sync.hpp"
+
+#include <cstddef>
+#include <deque>
+
+namespace {
+
+class Counter {
+ public:
+  void increment() PHES_EXCLUDES(mutex_) {
+    phes::util::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  std::size_t value() PHES_EXCLUDES(mutex_) {
+    phes::util::MutexLock lock(mutex_);
+    return value_;
+  }
+
+  void wait_nonzero() PHES_EXCLUDES(mutex_) {
+    phes::util::MutexLock lock(mutex_);
+    while (value_ == 0) changed_.wait(mutex_);
+  }
+
+ private:
+  phes::util::Mutex mutex_;
+  phes::util::CondVar changed_;
+  std::size_t value_ PHES_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  return counter.value() == 1 ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: reads and writes a
+// PHES_GUARDED_BY field without holding its mutex.  The harness asserts
+// the compiler rejects this file (expected diagnostic:
+// -Wthread-safety-analysis "requires holding mutex").
+
+#include "phes/util/sync.hpp"
+
+#include <cstddef>
+
+namespace {
+
+class Counter {
+ public:
+  void increment() {
+    ++value_;  // guarded write, no lock held
+  }
+
+  std::size_t value() const {
+    return value_;  // guarded read, no lock held
+  }
+
+ private:
+  mutable phes::util::Mutex mutex_;
+  std::size_t value_ PHES_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  return counter.value() == 1 ? 0 : 1;
+}

@@ -1,0 +1,22 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: acquires a mutex and
+// leaves it held on an exit path.  The harness asserts the compiler
+// rejects this file (expected diagnostic: -Wthread-safety-analysis
+// "mutex is still held at the end of function").
+
+#include "phes/util/sync.hpp"
+
+#include <cstddef>
+
+namespace {
+
+phes::util::Mutex g_mutex;
+std::size_t g_value PHES_GUARDED_BY(g_mutex) = 0;
+
+std::size_t take_and_forget() {
+  g_mutex.lock();
+  return g_value++;  // early return with g_mutex still held
+}
+
+}  // namespace
+
+int main() { return take_and_forget() == 0 ? 0 : 1; }

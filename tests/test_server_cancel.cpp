@@ -8,8 +8,6 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 
 #include "phes/pipeline/job.hpp"

@@ -11,7 +11,6 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
@@ -21,6 +20,7 @@
 #include "phes/pipeline/job.hpp"
 #include "phes/server/job_queue.hpp"
 #include "phes/server/server.hpp"
+#include "phes/util/sync.hpp"
 #include "test_support.hpp"
 
 namespace phes {
@@ -119,7 +119,7 @@ TEST(SessionPoolStress, ConcurrentCheckoutsOverTwoModelsStayExclusive) {
   constexpr std::size_t kIters = 50;
   // Exclusivity check: no SolverSession object may ever be held by two
   // leases at once.
-  std::mutex active_mutex;
+  phes::util::Mutex active_mutex;
   std::set<const engine::SolverSession*> active;
   std::atomic<bool> exclusive_violated{false};
 
@@ -138,14 +138,14 @@ TEST(SessionPoolStress, ConcurrentCheckoutsOverTwoModelsStayExclusive) {
             lease.session().realization(), use_a ? simo_a : simo_b));
         // ...exclusively.
         {
-          std::lock_guard<std::mutex> lock(active_mutex);
+          phes::util::MutexLock lock(active_mutex);
           if (!active.insert(&lease.session()).second) {
             exclusive_violated.store(true);
           }
         }
         std::this_thread::yield();
         {
-          std::lock_guard<std::mutex> lock(active_mutex);
+          phes::util::MutexLock lock(active_mutex);
           active.erase(&lease.session());
         }
         lease.release();

@@ -8,10 +8,8 @@
 #include <algorithm>
 #include <atomic>
 #include <complex>
-#include <condition_variable>
 #include <cstdint>
 #include <filesystem>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -23,6 +21,7 @@
 #include "phes/macromodel/pole_residue.hpp"
 #include "phes/macromodel/samples.hpp"
 #include "phes/util/rng.hpp"
+#include "phes/util/sync.hpp"
 
 namespace phes::test {
 
@@ -201,38 +200,40 @@ struct TempDir {
 /// JobServer::set_stage_observer).
 class StageGate {
  public:
-  void arm(std::uint64_t id, pipeline::Stage stage) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void arm(std::uint64_t id, pipeline::Stage stage)
+      PHES_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     armed_id_ = id;
     stage_ = stage;
   }
 
-  void operator()(std::uint64_t id, pipeline::Stage stage) {
-    std::unique_lock<std::mutex> lock(mutex_);
+  void operator()(std::uint64_t id, pipeline::Stage stage)
+      PHES_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     if (id != armed_id_ || stage != stage_) return;
     blocked_ = true;
     cv_.notify_all();
-    cv_.wait(lock, [&] { return released_; });
+    while (!released_) cv_.wait(mutex_);
   }
 
-  void wait_blocked() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return blocked_; });
+  void wait_blocked() PHES_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
+    while (!blocked_) cv_.wait(mutex_);
   }
 
-  void release() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void release() PHES_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     released_ = true;
     cv_.notify_all();
   }
 
  private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::uint64_t armed_id_ = 0;
-  pipeline::Stage stage_ = pipeline::Stage::kLoad;
-  bool blocked_ = false;
-  bool released_ = false;
+  util::Mutex mutex_;
+  util::CondVar cv_;
+  std::uint64_t armed_id_ PHES_GUARDED_BY(mutex_) = 0;
+  pipeline::Stage stage_ PHES_GUARDED_BY(mutex_) = pipeline::Stage::kLoad;
+  bool blocked_ PHES_GUARDED_BY(mutex_) = false;
+  bool released_ PHES_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace phes::test

@@ -1,0 +1,89 @@
+# Negative-compile harness for the annotated sync layer (run with
+# `cmake -P` as a ctest entry; see CMakeLists.txt).
+#
+# Proves the thread-safety contracts are *load-bearing*: each snippet
+# in tests/sync_negative/ that violates lock discipline must FAIL to
+# compile under -Wthread-safety -Werror, and the positive control must
+# compile cleanly.  Without this test, a typo that turns the macros
+# into no-ops (or a build flag that drops the warning) would silently
+# disarm the entire analysis.
+#
+# Thread Safety Analysis is a Clang extension.  When the configured
+# compiler does not support -Wthread-safety (GCC), the script prints
+# "[SKIP]" and returns — ctest's SKIP_REGULAR_EXPRESSION reports the
+# test as skipped, not passed (cmake 3.25 has no cmake_language(EXIT)
+# to produce a skip return code from a -P script).  CI runs a Clang
+# job where the skip cannot happen.
+#
+# Expected -D inputs:
+#   PHES_CXX_COMPILER  the compiler driver to test with
+#   PHES_SOURCE_DIR    repository root (for include/ and the snippets)
+#   PHES_WORK_DIR      scratch directory for objects
+
+if(NOT PHES_CXX_COMPILER OR NOT PHES_SOURCE_DIR OR NOT PHES_WORK_DIR)
+  message(FATAL_ERROR "test_sync_negative: PHES_CXX_COMPILER, "
+                      "PHES_SOURCE_DIR and PHES_WORK_DIR are required")
+endif()
+
+file(MAKE_DIRECTORY "${PHES_WORK_DIR}")
+
+set(snippet_dir "${PHES_SOURCE_DIR}/tests/sync_negative")
+set(flags
+    -std=c++20 -c
+    -I "${PHES_SOURCE_DIR}/include"
+    -Wthread-safety -Werror)
+
+function(phes_compile snippet out_result out_log)
+  execute_process(
+    COMMAND "${PHES_CXX_COMPILER}" ${flags}
+            "${snippet_dir}/${snippet}.cpp"
+            -o "${PHES_WORK_DIR}/${snippet}.o"
+    RESULT_VARIABLE result
+    OUTPUT_VARIABLE log
+    ERROR_VARIABLE log)
+  set(${out_result} "${result}" PARENT_SCOPE)
+  set(${out_log} "${log}" PARENT_SCOPE)
+endfunction()
+
+# ---- Support probe + positive control ---------------------------------
+# One compile answers both questions: an unsupported -Wthread-safety
+# (GCC: "unrecognized command-line option") means skip; any other
+# failure means the harness itself is broken.
+
+phes_compile(positive_control result log)
+if(NOT result EQUAL 0)
+  if(log MATCHES "unrecognized command[- ]line option|unknown warning option|unknown argument")
+    message(STATUS "[SKIP] compiler has no -Wthread-safety")
+    return()
+  endif()
+  message(FATAL_ERROR
+          "positive control failed to compile under -Wthread-safety — "
+          "the harness flags or sync.hpp are broken:\n${log}")
+endif()
+
+# ---- Negative cases ---------------------------------------------------
+# Each must be rejected, and rejected BY THE ANALYSIS (the diagnostic
+# must come from -Wthread-safety*), not by an unrelated error.
+
+set(negative_cases unguarded_access unreleased_lock excludes_violation)
+set(failures "")
+
+foreach(case IN LISTS negative_cases)
+  phes_compile("${case}" result log)
+  if(result EQUAL 0)
+    list(APPEND failures
+         "${case}: compiled cleanly — the analysis did not fire")
+  elseif(NOT log MATCHES "-Wthread-safety")
+    list(APPEND failures
+         "${case}: rejected, but not by the thread-safety analysis:\n${log}")
+  else()
+    message(STATUS "${case}: rejected by the analysis, as required")
+  endif()
+endforeach()
+
+if(failures)
+  list(JOIN failures "\n" failure_text)
+  message(FATAL_ERROR "negative-compile failures:\n${failure_text}")
+endif()
+
+message(STATUS "test_sync_negative: all contracts enforced")
