@@ -33,12 +33,23 @@
 //         stats           ping            trace <id>
 //         metrics [--prom]
 //         wait <id> [--timeout s]       shutdown [--no-drain]
+//         replay <id> | replay --all [--state S --model H
+//                                     --from N --to N]
+//         resubmit <id>
+//         campaign <id> [--csv | --table]
 //       `submit --inline` sends the file's contents in the request
 //       payload (submit_inline op) — the server needs no access to the
 //       client's filesystem.  `metrics --prom` converts the server's
 //       JSON metrics dump to Prometheus text exposition locally (feed
 //       it to a node_exporter textfile collector).  `wait` reports its
 //       total waited time and poll count on stderr when it returns.
+//       `replay` turns stored records (one id, or --all narrowed by the
+//       optional filters) back into fresh jobs and starts a tracked
+//       campaign; `campaign <id>` reports its progress with a per-job
+//       delta against the stored baseline (bit-identical /
+//       numerically-changed / state-changed), renderable as CSV or an
+//       ASCII table locally.  `resubmit` re-admits one stored record
+//       with no tracking.
 //
 // Flags:
 //   --poles <n>          VF poles per column            (default 12)
@@ -101,6 +112,7 @@
 #include "phes/server/socket.hpp"
 #include "phes/server/transport.hpp"
 #include "phes/util/metrics.hpp"
+#include "phes/util/table.hpp"
 
 namespace {
 
@@ -133,6 +145,14 @@ struct CliOptions {
   bool drain = true;
   bool inline_submit = false;  ///< submit the file's contents, not path
   bool prom = false;  ///< metrics: Prometheus exposition, not JSON
+  // replay / campaign
+  bool replay_all = false;      ///< replay: whole store, not one id
+  std::string state_filter;     ///< replay --state (done|failed|cancelled)
+  std::string model_filter;     ///< replay --model (input content hash)
+  std::uint64_t from_id = 0;    ///< replay --from (0 = unbounded)
+  std::uint64_t to_id = 0;      ///< replay --to (0 = unbounded)
+  bool campaign_csv = false;    ///< campaign: render the report as CSV
+  bool campaign_table = false;  ///< campaign: render as an ASCII table
   // Which job flags were explicitly passed: a client submit sends only
   // those, so the rest fall back to the serve-side job defaults.
   bool poles_set = false;
@@ -155,6 +175,12 @@ int usage() {
                "status|result|cancel|wait|trace [id]\n"
                "  phes_pipeline client <endpoint> stats|ping|shutdown\n"
                "  phes_pipeline client <endpoint> metrics [--prom]\n"
+               "  phes_pipeline client <endpoint> replay <id>\n"
+               "  phes_pipeline client <endpoint> replay --all "
+               "[--state S --model H --from N --to N]\n"
+               "  phes_pipeline client <endpoint> resubmit <id>\n"
+               "  phes_pipeline client <endpoint> campaign <id> "
+               "[--csv|--table]\n"
                "  (<endpoint> = socket path | tcp:HOST:PORT)\n"
                "flags: --poles N --vf-iters N --threads N --jobs N\n"
                "       --solver-threads N --stop-after STAGE\n"
@@ -170,6 +196,9 @@ int usage() {
                "client: --timeout SECONDS --poll-ms N (wait), "
                "--no-drain (shutdown),\n"
                "        --inline (submit), --auth-token-file FILE (tcp)\n"
+               "        --all --state S --model H --from N --to N "
+               "(replay),\n"
+               "        --csv --table (campaign)\n"
                "wait exit codes: 0 done, 1 failed, 3 cancelled, "
                "4 timeout\n");
   return 2;
@@ -286,6 +315,20 @@ CliOptions parse_flags(int argc, char** argv, int first) {
       cli.poll_ms = parse_count(value(), "--poll-ms");
     } else if (flag == "--inline") {
       cli.inline_submit = true;
+    } else if (flag == "--all") {
+      cli.replay_all = true;
+    } else if (flag == "--state") {
+      cli.state_filter = value();
+    } else if (flag == "--model") {
+      cli.model_filter = value();
+    } else if (flag == "--from") {
+      cli.from_id = parse_count(value(), "--from");
+    } else if (flag == "--to") {
+      cli.to_id = parse_count(value(), "--to");
+    } else if (flag == "--csv") {
+      cli.campaign_csv = true;
+    } else if (flag == "--table") {
+      cli.campaign_table = true;
     } else if (flag == "--timeout") {
       const char* text = value();
       char* end = nullptr;
@@ -592,6 +635,36 @@ int cmd_client(const std::string& endpoint_spec, const std::string& op,
       return 2;
     }
     request += "}";
+  } else if (op == "replay") {
+    if (id_or_file != nullptr) {
+      request = "{\"op\": \"replay\", \"id\": " +
+                std::to_string(parse_count(id_or_file, "replay"));
+    } else if (cli.replay_all) {
+      request = "{\"op\": \"replay\", \"all\": true";
+    } else {
+      std::fprintf(stderr, "error: replay needs a job id or --all\n");
+      return 2;
+    }
+    if (!cli.state_filter.empty()) {
+      request += ", \"state\": " + server::json_quote(cli.state_filter);
+    }
+    if (!cli.model_filter.empty()) {
+      request += ", \"model\": " + server::json_quote(cli.model_filter);
+    }
+    if (cli.from_id != 0) {
+      request += ", \"from\": " + std::to_string(cli.from_id);
+    }
+    if (cli.to_id != 0) {
+      request += ", \"to\": " + std::to_string(cli.to_id);
+    }
+    request += "}";
+  } else if (op == "resubmit" || op == "campaign") {
+    if (id_or_file == nullptr) {
+      std::fprintf(stderr, "error: %s needs an id\n", op.c_str());
+      return 2;
+    }
+    request = "{\"op\": \"" + op + "\", \"id\": " +
+              std::to_string(parse_count(id_or_file, op.c_str())) + "}";
   } else if (op == "metrics") {
     request = "{\"op\": \"metrics\"}";
   } else if (op == "stats" || op == "ping") {
@@ -655,6 +728,73 @@ int cmd_client(const std::string& endpoint_spec, const std::string& op,
       std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
       if (cli.poll_ms == 0) poll_ms = std::min(poll_ms * 2, kPollCapMs);
     }
+  }
+
+  if (op == "campaign" && (cli.campaign_csv || cli.campaign_table)) {
+    // Render the campaign report locally — same philosophy as `metrics
+    // --prom`: the server speaks one format (NDJSON), the client
+    // reshapes it.
+    const std::string response = server::round_trip(endpoint, request);
+    const auto json = server::JsonValue::parse(response);
+    const server::JsonValue* jobs = json.find("jobs");
+    if (!json.bool_or("ok", false) || jobs == nullptr) {
+      std::printf("%s\n", response.c_str());
+      return 1;
+    }
+    // "after"/"delta" are null until the replayed job finishes.
+    const auto cell = [](const server::JsonValue& job, const char* key) {
+      const server::JsonValue* v = job.find(key);
+      return v != nullptr && !v->is_null() ? v->as_string()
+                                           : std::string("pending");
+    };
+    if (cli.campaign_csv) {
+      std::printf("source,replay,name,delta,before,after\n");
+      for (const auto& job : jobs->items()) {
+        // Commas/quotes in job names (file paths) get RFC-4180 quoting.
+        std::string name = job.string_or("name", "");
+        if (name.find_first_of(",\"\n") != std::string::npos) {
+          std::string quoted = "\"";
+          for (const char c : name) {
+            if (c == '"') quoted += '"';
+            quoted += c;
+          }
+          quoted += '"';
+          name = quoted;
+        }
+        std::printf("%llu,%llu,%s,%s,%s,%s\n",
+                    static_cast<unsigned long long>(job.uint_or("source", 0)),
+                    static_cast<unsigned long long>(job.uint_or("id", 0)),
+                    name.c_str(), cell(job, "delta").c_str(),
+                    job.string_or("before", "").c_str(),
+                    cell(job, "after").c_str());
+      }
+    } else {
+      util::Table table(
+          {"source", "replay", "name", "delta", "before", "after"});
+      for (const auto& job : jobs->items()) {
+        table.add_row({std::to_string(job.uint_or("source", 0)),
+                       std::to_string(job.uint_or("id", 0)),
+                       job.string_or("name", ""), cell(job, "delta"),
+                       job.string_or("before", ""), cell(job, "after")});
+      }
+      table.print(std::cout);
+      const server::JsonValue* deltas = json.find("deltas");
+      std::printf("\ncampaign %llu: %llu/%llu classified (%s), deltas: "
+                  "%llu identical, %llu numeric, %llu state, "
+                  "%llu skipped\n",
+                  static_cast<unsigned long long>(json.uint_or("campaign", 0)),
+                  static_cast<unsigned long long>(json.uint_or("completed", 0)),
+                  static_cast<unsigned long long>(json.uint_or("total", 0)),
+                  json.bool_or("done", false) ? "done" : "running",
+                  static_cast<unsigned long long>(
+                      deltas ? deltas->uint_or("identical", 0) : 0),
+                  static_cast<unsigned long long>(
+                      deltas ? deltas->uint_or("numeric", 0) : 0),
+                  static_cast<unsigned long long>(
+                      deltas ? deltas->uint_or("state", 0) : 0),
+                  static_cast<unsigned long long>(json.uint_or("skipped", 0)));
+    }
+    return 0;
   }
 
   if (op == "metrics" && cli.prom) {

@@ -150,6 +150,30 @@ struct PipelineResult {
   [[nodiscard]] std::string status() const;
 };
 
+/// Serialize a job's replayable input specification — name, input
+/// source (path or inline text), format, port count, content hash, and
+/// the option surface the submit protocol exposes — as one JSON
+/// document.  The durable store persists it at admission so `replay`/
+/// `resubmit` can turn a stored record back into a fresh PipelineJob.
+/// A job whose input is an already-parsed samples set has no replayable
+/// source and yields an empty string.
+[[nodiscard]] std::string write_job_spec_json(const PipelineJob& job);
+
+/// Parse a write_job_spec_json document back into a PipelineJob.
+/// `defaults` seeds the options the spec does not override, mirroring
+/// the submit protocol (whose unset options fall back to the
+/// serve-side job defaults).  Unknown fields — including option keys
+/// and stage names from future spec versions — are ignored, never
+/// fatal.  Throws std::runtime_error on malformed JSON or a spec with
+/// no replayable input.
+[[nodiscard]] PipelineJob read_job_spec_json(const std::string& text,
+                                             const JobOptions& defaults = {});
+
+/// FNV-1a 64-bit content hash (16 hex digits) of a job's replayable
+/// input: the inline payload bytes when present, else the input path.
+/// The replay filter's "model" key matches against this.
+[[nodiscard]] std::string input_content_hash(const PipelineJob& job);
+
 /// Load a samples file, dispatching on extension: ".sNp"/".snp" is
 /// parsed as Touchstone, anything else as the phes-samples text format.
 [[nodiscard]] macromodel::FrequencySamples load_input(

@@ -18,6 +18,12 @@
 //   {"op":"status","id":7}      or {"op":"status"} for all jobs
 //   {"op":"result","id":7}
 //   {"op":"cancel","id":7}
+//   {"op":"replay","id":7}      or {"op":"replay","all":true,
+//    "state":"done","model":"<hash>","from":3,"to":9}
+//                               (rebuild stored records as fresh jobs;
+//                                starts a tracked campaign)
+//   {"op":"resubmit","id":7}    (one stored record, untracked)
+//   {"op":"campaign","id":1}    (campaign progress + per-job deltas)
 //   {"op":"stats"}
 //   {"op":"metrics"}            (full obs::MetricsRegistry dump)
 //   {"op":"trace","id":7}       (per-stage spans of a finished job)
@@ -33,6 +39,14 @@
 // TransportServer — the transport and dispatch-pool counters; all of
 // them are views over the same obs::MetricsRegistry the `metrics` op
 // dumps in full (see README "Observability" for the name reference).
+// `replay` resolves stored records (one id, or `all` narrowed by the
+// optional state/model/from/to filters) back into fresh jobs through
+// the normal admission path and answers with a campaign id plus the
+// replayed/skipped breakdown; `campaign` reports that campaign's
+// progress, classifying each finished replay against its stored
+// baseline (bit-identical / numerically-changed / state-changed — see
+// server/campaign.hpp).  `resubmit` re-admits one stored record with
+// no tracking.
 // `trace` returns the server/trace.hpp JobTrace of a finished job —
 // one span per pipeline stage with durations and solver counters —
 // while it remains in the in-memory trace ring

@@ -39,6 +39,13 @@ class ResultStore {
   /// backends so a crash marks the job lost rather than unknown).
   void add(std::uint64_t id, const std::string& name);
 
+  /// Persist the job's replayable input spec (empty spec = job has no
+  /// replayable input; ignored).  Best-effort, delegated to the backend.
+  void note_input(std::uint64_t id, const std::string& spec_json);
+
+  /// The stored input spec for `id`, when the backend kept one.
+  [[nodiscard]] std::optional<std::string> input(std::uint64_t id) const;
+
   /// queued -> running.  False when the record is gone or not queued
   /// (e.g. it was cancelled while the worker popped it).
   bool mark_running(std::uint64_t id);

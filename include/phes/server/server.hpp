@@ -29,6 +29,7 @@
 #include "phes/engine/session_pool.hpp"
 #include "phes/pipeline/batch.hpp"
 #include "phes/pipeline/job.hpp"
+#include "phes/server/campaign.hpp"
 #include "phes/server/job_queue.hpp"
 #include "phes/server/result_store.hpp"
 #include "phes/server/trace.hpp"
@@ -159,6 +160,16 @@ class JobServer {
     return traces_.get(id);
   }
 
+  /// Campaign replay over the stored records (the replay/resubmit/
+  /// campaign protocol ops).
+  [[nodiscard]] CampaignRunner& campaigns() noexcept { return campaigns_; }
+  /// The replayable input spec persisted for `id` at admission, when
+  /// the storage backend kept one.
+  [[nodiscard]] std::optional<std::string> stored_input(
+      std::uint64_t id) const {
+    return store_.input(id);
+  }
+
   /// Test/diagnostics hook: invoked as (job id, stage) when any job
   /// starts a stage.  Set before jobs are submitted; runs on worker
   /// threads.
@@ -193,6 +204,9 @@ class JobServer {
   JobQueue queue_;
   ResultStore store_;
   engine::SessionPool session_pool_;
+  /// Declared after store_: start() reads stored records, and the
+  /// runner resolves its phes_campaign_* instruments from registry_.
+  CampaignRunner campaigns_;
 
   // Worker-layer instruments (resolved once at construction).
   obs::Counter* jobs_submitted_ = nullptr;

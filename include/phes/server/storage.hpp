@@ -49,6 +49,13 @@ enum class JobState {
 [[nodiscard]] const char* job_state_name(JobState state) noexcept;
 [[nodiscard]] bool is_terminal(JobState state) noexcept;
 
+/// Error-message prefix of the placeholder result DiskStorage::get
+/// synthesizes when a persisted payload is unreadable (corrupt or
+/// missing job-N.json).  Campaign replay matches on it to skip-and-count
+/// such records instead of replaying garbage.
+inline constexpr const char kUnreadableResultPrefix[] =
+    "stored result unreadable: ";
+
 struct JobRecord {
   std::uint64_t id = 0;
   std::string name;
@@ -91,6 +98,22 @@ class Storage {
   virtual void note_admitted(std::uint64_t /*id*/,
                              const std::string& /*name*/) {}
 
+  /// Persist an admitted job's replayable input specification
+  /// (pipeline::write_job_spec_json) so `replay`/`resubmit` can rebuild
+  /// the job later.  Best-effort: failures are logged, never thrown —
+  /// a job without a stored spec simply cannot be replayed.  Default
+  /// no-op (backends that keep no inputs make every record
+  /// unreplayable, which the campaign report surfaces as skips).
+  virtual void note_input(std::uint64_t /*id*/,
+                          const std::string& /*spec_json*/) {}
+
+  /// The stored input spec for `id`, when one was persisted and still
+  /// survives retention.
+  [[nodiscard]] virtual std::optional<std::string> input(
+      std::uint64_t /*id*/) const {
+    return std::nullopt;
+  }
+
   /// Store a terminal record and apply the backend's retention policy.
   virtual void put(const JobRecord& record) = 0;
 
@@ -126,6 +149,9 @@ class MemoryStorage final : public Storage {
   explicit MemoryStorage(std::size_t max_finished = 4096,
                          obs::MetricsRegistry* registry = nullptr);
 
+  void note_input(std::uint64_t id, const std::string& spec_json) override;
+  [[nodiscard]] std::optional<std::string> input(
+      std::uint64_t id) const override;
   void put(const JobRecord& record) override;
   [[nodiscard]] std::optional<JobRecord> get(std::uint64_t id) const override;
   [[nodiscard]] std::optional<JobState> state(
@@ -141,6 +167,8 @@ class MemoryStorage final : public Storage {
  private:
   const std::size_t max_finished_;
   std::map<std::uint64_t, JobRecord> records_;
+  /// Input specs, evicted alongside their records.
+  std::map<std::uint64_t, std::string> inputs_;
   /// Registry-backed (StorageStats is a view over these).
   std::unique_ptr<obs::MetricsRegistry> owned_registry_;
   obs::Counter* evicted_ = nullptr;
@@ -158,9 +186,12 @@ struct DiskStorageOptions {
 };
 
 /// Disk-backed storage under `dir`:
-///   <dir>/index.ndjson    append-only journal (add/finish/evict
-///                         events; compacted on startup)
-///   <dir>/jobs/job-N.json one write_job_json document per record
+///   <dir>/index.ndjson      append-only journal (add/finish/evict
+///                           events; compacted on startup)
+///   <dir>/jobs/job-N.json   one write_job_json document per record
+///   <dir>/inputs/job-N.json the job's replayable input spec
+///                           (write_job_spec_json), written at
+///                           admission and unlinked with the record
 /// Construction creates the directories, replays the journal
 /// (recovering served records and marking admitted-but-unfinished jobs
 /// lost), and compacts the journal.  Throws std::runtime_error when
@@ -174,6 +205,9 @@ class DiskStorage final : public Storage {
                        obs::MetricsRegistry* registry = nullptr);
 
   void note_admitted(std::uint64_t id, const std::string& name) override;
+  void note_input(std::uint64_t id, const std::string& spec_json) override;
+  [[nodiscard]] std::optional<std::string> input(
+      std::uint64_t id) const override;
   void put(const JobRecord& record) override;
   [[nodiscard]] std::optional<JobRecord> get(std::uint64_t id) const override;
   [[nodiscard]] std::optional<JobState> state(
@@ -210,6 +244,7 @@ class DiskStorage final : public Storage {
   void evict(std::uint64_t id);
   void enforce_retention(double now_unix);
   [[nodiscard]] std::string job_path(std::uint64_t id) const;
+  [[nodiscard]] std::string input_path(std::uint64_t id) const;
   [[nodiscard]] static JobSummary summarize(std::uint64_t id,
                                             const Entry& entry);
 

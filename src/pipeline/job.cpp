@@ -1,5 +1,6 @@
 #include "phes/pipeline/job.hpp"
 
+#include <cstdio>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -9,7 +10,9 @@
 #include "phes/io/touchstone.hpp"
 #include "phes/macromodel/samples_io.hpp"
 #include "phes/macromodel/simo_realization.hpp"
+#include "phes/pipeline/report.hpp"
 #include "phes/util/check.hpp"
+#include "phes/util/json.hpp"
 #include "phes/util/timer.hpp"
 
 namespace phes::pipeline {
@@ -53,6 +56,111 @@ std::string PipelineResult::status() const {
   }
   if (certified_passive) return enforcement_run ? "enforced" : "passive";
   return "not-passive";
+}
+
+namespace {
+
+const char* input_format_name(InputFormat format) noexcept {
+  switch (format) {
+    case InputFormat::kAuto: return "auto";
+    case InputFormat::kTouchstone: return "touchstone";
+    case InputFormat::kSamples: return "samples";
+  }
+  return "auto";
+}
+
+// Unknown (future) format names degrade to kAuto rather than failing
+// the spec: the load stage's ports-based dispatch is the safe default.
+InputFormat parse_input_format(const std::string& name) noexcept {
+  if (name == "touchstone") return InputFormat::kTouchstone;
+  if (name == "samples") return InputFormat::kSamples;
+  return InputFormat::kAuto;
+}
+
+}  // namespace
+
+std::string input_content_hash(const PipelineJob& job) {
+  // FNV-1a 64-bit over the inline payload when present, else the path:
+  // two submissions of the same bytes (or the same file) share a hash,
+  // which is all the replay filter's "model" key needs.
+  const std::string& bytes =
+      !job.input_text.empty() ? job.input_text : job.input_path;
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+std::string write_job_spec_json(const PipelineJob& job) {
+  if (job.input_path.empty() && job.input_text.empty()) return {};
+  std::ostringstream os;
+  os << "{\"spec_version\": 1, \"name\": \"" << json_escape(job.name)
+     << "\"";
+  // Dispatch order mirrors the load stage: inline text wins over a path.
+  if (!job.input_text.empty()) {
+    os << ", \"input_text\": \"" << json_escape(job.input_text) << "\"";
+  } else {
+    os << ", \"input_path\": \"" << json_escape(job.input_path) << "\"";
+  }
+  os << ", \"format\": \"" << input_format_name(job.input_format)
+     << "\", \"ports\": " << job.input_ports << ", \"input_hash\": \""
+     << input_content_hash(job) << "\"";
+  // The option surface the submit protocol exposes (protocol.cpp's
+  // job_options_from), under the same keys.
+  os << ", \"options\": {\"poles\": " << job.options.fit.num_poles
+     << ", \"vf_iters\": " << job.options.fit.iterations
+     << ", \"warm_start\": "
+     << (job.options.session.warm_start ? "true" : "false")
+     << ", \"stop_after\": \"" << stage_name(job.options.stop_after)
+     << "\"}}";
+  return os.str();
+}
+
+PipelineJob read_job_spec_json(const std::string& text,
+                               const JobOptions& defaults) {
+  util::JsonValue doc = [&] {
+    try {
+      return util::JsonValue::parse(text);
+    } catch (const std::exception& e) {
+      throw std::runtime_error(std::string("job spec: ") + e.what());
+    }
+  }();
+  if (doc.type() != util::JsonValue::Type::kObject) {
+    throw std::runtime_error("job spec: not a JSON object");
+  }
+  PipelineJob job;
+  job.name = doc.string_or("name", "");
+  job.input_text = doc.string_or("input_text", "");
+  job.input_path = doc.string_or("input_path", "");
+  if (job.input_text.empty() && job.input_path.empty()) {
+    throw std::runtime_error("job spec: no replayable input "
+                             "(neither \"input_text\" nor \"input_path\")");
+  }
+  job.input_format = parse_input_format(doc.string_or("format", "auto"));
+  job.input_ports = static_cast<std::size_t>(doc.uint_or("ports", 0));
+  job.options = defaults;
+  if (const util::JsonValue* options = doc.find("options")) {
+    job.options.fit.num_poles = static_cast<std::size_t>(
+        options->uint_or("poles", job.options.fit.num_poles));
+    job.options.fit.iterations = static_cast<std::size_t>(
+        options->uint_or("vf_iters", job.options.fit.iterations));
+    job.options.session.warm_start =
+        options->bool_or("warm_start", job.options.session.warm_start);
+    if (const util::JsonValue* stop = options->find("stop_after")) {
+      try {
+        job.options.stop_after = parse_stage(stop->as_string());
+      } catch (const std::exception&) {
+        // Future stage name: keep the default rather than losing the
+        // whole record.
+      }
+    }
+  }
+  return job;
 }
 
 macromodel::FrequencySamples load_input(const std::string& path) {

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 #include "phes/util/json.hpp"
@@ -145,7 +146,13 @@ PipelineResult read_job_json(const std::string& text) {
   if (!r.ok) {
     r.error = doc.string_or("error", "");
     if (const util::JsonValue* stage = doc.find("failed_stage")) {
-      r.failed_stage = parse_stage(stage->as_string());
+      try {
+        r.failed_stage = parse_stage(stage->as_string());
+      } catch (const std::exception&) {
+        // Forward compatibility: a record written by a future build may
+        // name a stage this one does not know.  Keep the default rather
+        // than failing the whole record.
+      }
     }
   }
   r.sample_count = static_cast<std::size_t>(doc.uint_or("samples", 0));
@@ -208,6 +215,40 @@ PipelineResult read_job_json(const std::string& text) {
   }
   r.total_seconds = doc.number_or("total_seconds", 0.0);
   return r;
+}
+
+std::string result_signature(const PipelineResult& r) {
+  // Mirrors write_job_json's field rendering (same fmt(), same
+  // stage-ran/null logic for band counts) over the deterministic subset
+  // only: no id, no timings, no session counters, no matvec totals.
+  const bool characterized = stage_ran(r, Stage::kCharacterize);
+  const bool verified = stage_ran(r, Stage::kVerify);
+  std::ostringstream os;
+  os << "{\"name\": \"" << json_escape(r.name) << "\", \"status\": \""
+     << json_escape(r.status()) << "\", \"ok\": " << (r.ok ? "true" : "false")
+     << ", \"completed\": " << (r.completed ? "true" : "false")
+     << ", \"cancelled\": " << (r.cancelled ? "true" : "false");
+  if (!r.ok) {
+    os << ", \"error\": \"" << json_escape(r.error) << "\", \"failed_stage\": \""
+       << stage_name(r.failed_stage) << "\"";
+  }
+  os << ", \"samples\": " << r.sample_count << ", \"ports\": " << r.ports
+     << ", \"order\": " << r.order << ", \"fit_rms\": " << fmt(r.fit_rms)
+     << ", \"bands_initial\": "
+     << (characterized ? std::to_string(r.initial_report.bands.size())
+                       : std::string("null"))
+     << ", \"bands_final\": "
+     << (verified ? std::to_string(r.final_report.bands.size())
+                  : std::string("null"))
+     << ", \"certified_passive\": "
+     << (r.certified_passive ? "true" : "false")
+     << ", \"enforcement\": {\"run\": "
+     << (r.enforcement_run ? "true" : "false")
+     << ", \"iterations\": " << r.enforcement.iterations
+     << ", \"characterizations\": " << r.enforcement.characterizations
+     << ", \"relative_model_change\": "
+     << fmt(r.enforcement.relative_model_change) << "}}";
+  return os.str();
 }
 
 void write_summary_json(const std::vector<PipelineResult>& results,

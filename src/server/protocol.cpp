@@ -195,6 +195,95 @@ std::string handle_cancel(JobServer& server, const JsonValue& request) {
          ", \"cancelled\": " + (cancelled ? "true" : "false") + "}";
 }
 
+std::string campaign_skips_json(const std::vector<CampaignSkip>& skips) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < skips.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{\"source\": " + std::to_string(skips[i].source_id) +
+           ", \"reason\": " + json_quote(skips[i].reason) + "}";
+  }
+  return out + "]";
+}
+
+/// {"op":"replay","id":7}  or  {"op":"replay","all":true} narrowed by
+/// the optional "state"/"model"/"from"/"to" filters.  Starts a tracked
+/// campaign; the ack lists what was admitted and what was skipped.
+std::string handle_replay(JobServer& server, const JsonValue& request) {
+  ReplayFilter filter;
+  if (const JsonValue* id_value = request.find("id")) {
+    filter.id = id_value->as_uint();
+  } else if (!request.bool_or("all", false)) {
+    return error_response("replay: need \"id\" or \"all\": true");
+  }
+  filter.state = request.string_or("state", "");
+  filter.model = request.string_or("model", "");
+  filter.min_id = request.uint_or("from", 0);
+  filter.max_id = request.uint_or("to", 0);
+  const CampaignRunner::StartResult started =
+      server.campaigns().start(filter);
+  std::ostringstream os;
+  os << "{\"ok\": true, \"op\": \"replay\", \"campaign\": "
+     << started.campaign_id << ", \"replayed\": " << started.entries.size()
+     << ", \"skipped\": " << started.skipped.size() << ", \"jobs\": [";
+  for (std::size_t i = 0; i < started.entries.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "{\"source\": " << started.entries[i].source_id
+       << ", \"id\": " << started.entries[i].replay_id << "}";
+  }
+  os << "], \"skips\": " << campaign_skips_json(started.skipped) << "}";
+  return os.str();
+}
+
+std::string handle_resubmit(JobServer& server, const JsonValue& request) {
+  const JsonValue* id_value = request.find("id");
+  if (id_value == nullptr) {
+    return error_response("resubmit: missing \"id\"");
+  }
+  const std::uint64_t source = id_value->as_uint();
+  const std::uint64_t id = server.campaigns().resubmit(source);
+  return "{\"ok\": true, \"op\": \"resubmit\", \"id\": " +
+         std::to_string(id) + ", \"source\": " + std::to_string(source) +
+         "}";
+}
+
+std::string handle_campaign(JobServer& server, const JsonValue& request) {
+  const JsonValue* id_value = request.find("id");
+  if (id_value == nullptr) {
+    return error_response("campaign: missing \"id\"");
+  }
+  const std::uint64_t id = id_value->as_uint();
+  const auto status = server.campaigns().status(id);
+  if (!status) {
+    return error_response("campaign: unknown campaign id " +
+                          std::to_string(id));
+  }
+  std::ostringstream os;
+  os << "{\"ok\": true, \"op\": \"campaign\", \"campaign\": " << status->id
+     << ", \"done\": " << (status->done ? "true" : "false")
+     << ", \"total\": " << status->total
+     << ", \"completed\": " << status->completed
+     << ", \"skipped\": " << status->skipped.size()
+     << ", \"deltas\": {\"identical\": " << status->identical
+     << ", \"numeric\": " << status->numeric
+     << ", \"state\": " << status->state_changed << "}, \"jobs\": [";
+  for (std::size_t i = 0; i < status->entries.size(); ++i) {
+    const CampaignEntry& entry = status->entries[i];
+    if (i > 0) os << ", ";
+    os << "{\"source\": " << entry.source_id << ", \"id\": "
+       << entry.replay_id << ", \"name\": " << json_quote(entry.name)
+       << ", \"before\": " << json_quote(entry.status_before)
+       << ", \"after\": "
+       << (entry.delta.empty() ? std::string("null")
+                               : json_quote(entry.status_after))
+       << ", \"delta\": "
+       << (entry.delta.empty() ? std::string("null")
+                               : json_quote(entry.delta))
+       << "}";
+  }
+  os << "], \"skips\": " << campaign_skips_json(status->skipped) << "}";
+  return os.str();
+}
+
 std::string handle_stats(JobServer& server,
                          const TransportSnapshotFn& snapshot) {
   const ServerStats stats = server.stats();
@@ -316,6 +405,12 @@ RequestOutcome handle_request(JobServer& server, const JsonValue& request,
       outcome.response = handle_result(server, request);
     } else if (op == "cancel") {
       outcome.response = handle_cancel(server, request);
+    } else if (op == "replay") {
+      outcome.response = handle_replay(server, request);
+    } else if (op == "resubmit") {
+      outcome.response = handle_resubmit(server, request);
+    } else if (op == "campaign") {
+      outcome.response = handle_campaign(server, request);
     } else if (op == "stats") {
       outcome.response = handle_stats(server, snapshot);
     } else if (op == "metrics") {

@@ -21,6 +21,17 @@ void ResultStore::add(std::uint64_t id, const std::string& name) {
   storage_->note_admitted(id, name);
 }
 
+void ResultStore::note_input(std::uint64_t id, const std::string& spec_json) {
+  if (spec_json.empty()) return;  // nothing replayable to keep
+  util::MutexLock lock(mutex_);
+  storage_->note_input(id, spec_json);
+}
+
+std::optional<std::string> ResultStore::input(std::uint64_t id) const {
+  util::MutexLock lock(mutex_);
+  return storage_->input(id);
+}
+
 bool ResultStore::mark_running(std::uint64_t id) {
   util::MutexLock lock(mutex_);
   const auto it = records_.find(id);

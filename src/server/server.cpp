@@ -56,6 +56,7 @@ JobServer::JobServer(ServerOptions options, pipeline::ParallelismPlan plan)
       queue_(options_.queue_capacity, registry_),
       store_(make_storage(options_, registry_)),
       session_pool_(options_.pool),
+      campaigns_(*this, *registry_),
       pool_(worker_count_) {
   jobs_submitted_ = &registry_->counter("phes_jobs_submitted_total");
   jobs_done_ = &registry_->counter("phes_jobs_done_total");
@@ -87,6 +88,9 @@ std::uint64_t JobServer::submit(pipeline::PipelineJob job) {
   job.id = id;
   const std::string name = job.name.empty() ? job.input_path : job.name;
   store_.add(id, name);
+  // Persist the replayable input spec (empty for samples-direct jobs);
+  // best-effort — a failed write costs replayability, not admission.
+  store_.note_input(id, pipeline::write_job_spec_json(job));
   const auto flag = std::make_shared<std::atomic<bool>>(false);
   {
     util::MutexLock lock(flags_mutex_);

@@ -77,11 +77,23 @@ void MemoryStorage::put(const JobRecord& record) {
   const util::WallTimer timer;
   records_[record.id] = record;
   while (records_.size() > max_finished_) {
+    inputs_.erase(records_.begin()->first);
     records_.erase(records_.begin());
     evicted_->add();
   }
   records_gauge_->set(static_cast<std::int64_t>(records_.size()));
   put_hist_->observe(timer.seconds());
+}
+
+void MemoryStorage::note_input(std::uint64_t id,
+                               const std::string& spec_json) {
+  inputs_[id] = spec_json;
+}
+
+std::optional<std::string> MemoryStorage::input(std::uint64_t id) const {
+  const auto it = inputs_.find(id);
+  if (it == inputs_.end()) return std::nullopt;
+  return it->second;
 }
 
 std::optional<JobRecord> MemoryStorage::get(std::uint64_t id) const {
@@ -174,6 +186,11 @@ DiskStorage::DiskStorage(std::string dir, DiskStorageOptions options,
     throw std::runtime_error("DiskStorage: cannot create '" + dir_ +
                              "/jobs': " + ec.message());
   }
+  fs::create_directories(fs::path(dir_) / "inputs", ec);
+  if (ec) {
+    throw std::runtime_error("DiskStorage: cannot create '" + dir_ +
+                             "/inputs': " + ec.message());
+  }
   {
     const util::WallTimer replay_timer;
     recover();
@@ -191,6 +208,41 @@ DiskStorage::DiskStorage(std::string dir, DiskStorageOptions options,
 std::string DiskStorage::job_path(std::uint64_t id) const {
   return (fs::path(dir_) / "jobs" / ("job-" + std::to_string(id) + ".json"))
       .string();
+}
+
+std::string DiskStorage::input_path(std::uint64_t id) const {
+  return (fs::path(dir_) / "inputs" /
+          ("job-" + std::to_string(id) + ".json"))
+      .string();
+}
+
+void DiskStorage::note_input(std::uint64_t id, const std::string& spec_json) {
+  // Best-effort by contract: this runs inside the submit path, where a
+  // full disk must cost the job its replayability, not its admission.
+  std::ofstream out(input_path(id), std::ios::trunc | std::ios::binary);
+  if (out) {
+    out << spec_json << '\n';
+    out.flush();
+  }
+  if (!out) {
+    util::log_line("storage", "input spec write failed on '" +
+                                  input_path(id) +
+                                  "'; job will not be replayable");
+  }
+}
+
+std::optional<std::string> DiskStorage::input(std::uint64_t id) const {
+  std::ifstream in(input_path(id), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  std::string spec = contents.str();
+  // Strip the trailing newline note_input appends.
+  while (!spec.empty() && (spec.back() == '\n' || spec.back() == '\r')) {
+    spec.pop_back();
+  }
+  if (spec.empty()) return std::nullopt;
+  return spec;
 }
 
 void DiskStorage::append_event(const std::string& line) {
@@ -289,6 +341,7 @@ void DiskStorage::evict(std::uint64_t id) {
   bytes_gauge_->set(static_cast<std::int64_t>(total_bytes_));
   std::error_code ec;
   fs::remove(job_path(id), ec);  // best-effort; the journal is truth
+  fs::remove(input_path(id), ec);
   append_event("{\"event\": \"evict\", \"id\": " + std::to_string(id) + "}");
 }
 
@@ -467,7 +520,7 @@ std::optional<JobRecord> DiskStorage::get(std::uint64_t id) const {
   record.result.name = entry.name;
   record.result.ok = false;
   record.result.cancelled = entry.state == JobState::kCancelled;
-  record.result.error = "stored result unreadable: " + job_path(id);
+  record.result.error = kUnreadableResultPrefix + job_path(id);
   get_hist_->observe(timer.seconds());
   return record;
 }

@@ -172,6 +172,78 @@ TEST(ReportReader, ReconstructsSemanticFields) {
                std::runtime_error);
 }
 
+TEST(ReportReader, ToleratesUnknownFieldsAndStageNames) {
+  // A record written by a future build may carry fields this one does
+  // not know: the reader must ignore them, and the reserialized record
+  // must match what this build would have written.
+  const std::string once = job_json(sample_result(4));
+  ASSERT_EQ(once.front(), '{');
+  const std::string extended =
+      "{\n  \"future_field\": {\"nested\": [1, 2]},\n" + once.substr(1);
+  EXPECT_EQ(job_json(pipeline::read_job_json(extended)), once);
+
+  // Same for a failed_stage name this build has never heard of: keep
+  // the default stage instead of rejecting the whole record.
+  std::string doc = job_json(failed_result(2));
+  const std::string field = "\"failed_stage\": \"fit\"";
+  const std::size_t at = doc.find(field);
+  ASSERT_NE(at, std::string::npos);
+  doc.replace(at, field.size(), "\"failed_stage\": \"quantize\"");
+  const PipelineResult reread = pipeline::read_job_json(doc);
+  EXPECT_FALSE(reread.ok);
+  EXPECT_EQ(reread.error, failed_result(2).error);
+  EXPECT_EQ(reread.failed_stage, Stage::kLoad) << "default kept";
+}
+
+// ---- Replayable input specs -------------------------------------------
+
+TEST(JobSpec, RoundTripsPathAndInlineJobs) {
+  pipeline::PipelineJob job;
+  job.name = "spec \"quoted\"";
+  job.input_path = "/models/a.s2p";
+  job.input_ports = 2;
+  job.options.fit.num_poles = 9;
+  job.options.fit.iterations = 5;
+  job.options.session.warm_start = false;
+  job.options.stop_after = Stage::kCharacterize;
+  const std::string spec = pipeline::write_job_spec_json(job);
+  const pipeline::PipelineJob back = pipeline::read_job_spec_json(spec);
+  EXPECT_EQ(back.name, job.name);
+  EXPECT_EQ(back.input_path, job.input_path);
+  EXPECT_EQ(back.input_ports, 2u);
+  EXPECT_EQ(back.options.fit.num_poles, 9u);
+  EXPECT_EQ(back.options.fit.iterations, 5u);
+  EXPECT_FALSE(back.options.session.warm_start);
+  EXPECT_EQ(back.options.stop_after, Stage::kCharacterize);
+  EXPECT_EQ(pipeline::input_content_hash(back),
+            pipeline::input_content_hash(job));
+
+  pipeline::PipelineJob inline_job;
+  inline_job.input_text = "# GHz S RI R 50\n1 0 0 0 0 0 0 0 0\n";
+  inline_job.input_format = pipeline::InputFormat::kTouchstone;
+  const pipeline::PipelineJob inline_back =
+      pipeline::read_job_spec_json(pipeline::write_job_spec_json(inline_job));
+  EXPECT_EQ(inline_back.input_text, inline_job.input_text);
+  EXPECT_EQ(inline_back.input_format, pipeline::InputFormat::kTouchstone);
+}
+
+TEST(JobSpec, ToleratesUnknownFieldsAndRejectsInputlessSpecs) {
+  pipeline::PipelineJob job;
+  job.input_path = "m.s2p";
+  std::string spec = pipeline::write_job_spec_json(job);
+  ASSERT_EQ(spec.front(), '{');
+  spec = "{\"spec_version\": 99, \"future\": true, " + spec.substr(1);
+  EXPECT_EQ(pipeline::read_job_spec_json(spec).input_path, "m.s2p");
+
+  // A samples-direct job has nothing to replay: the writer returns an
+  // empty spec and the reader refuses an inputless document.
+  EXPECT_TRUE(pipeline::write_job_spec_json(pipeline::PipelineJob{}).empty());
+  EXPECT_THROW((void)pipeline::read_job_spec_json("{\"name\": \"x\"}"),
+               std::runtime_error);
+  EXPECT_THROW((void)pipeline::read_job_spec_json("not json"),
+               std::runtime_error);
+}
+
 // ---- MemoryStorage ----------------------------------------------------
 
 TEST(MemoryStorage, EvictsOldestPastCap) {

@@ -11,7 +11,11 @@ Checks (each failure is one line on stdout; exit 1 if any fired):
   2. protocol-ops   Every protocol op handled in protocol.cpp has a
                     client-side subcommand (examples/phes_pipeline.cpp)
                     and at least one mention in the test suite.
-  3. sync-layer     No raw std synchronization primitive outside
+  3. protocol-docs  Every protocol op handled in protocol.cpp is
+                    documented in README.md (as `"op":"name"` or a
+                    backticked `name`), so the wire surface and the
+                    docs cannot drift apart.
+  4. sync-layer     No raw std synchronization primitive outside
                     util/sync.hpp: every mutex in the tree must be a
                     phes::util one so the thread-safety analysis sees
                     it.  (See README "Static analysis".)
@@ -169,7 +173,23 @@ def check_protocol_ops(errors: list[str]) -> None:
             )
 
 
-# ---- check 3: raw std synchronization outside util/sync.hpp -----------
+# ---- check 3: protocol ops vs README ----------------------------------
+
+
+def check_protocol_docs(errors: list[str]) -> None:
+    protocol = (ROOT / "src/server/protocol.cpp").read_text(encoding="utf-8")
+    ops = sorted(set(OP_RE.findall(protocol)))
+    readme = (ROOT / "README.md").read_text(encoding="utf-8")
+    for op in ops:
+        if f'"op":"{op}"' in readme or f"`{op}`" in readme:
+            continue
+        errors.append(
+            f"protocol-docs: op '{op}' is handled in protocol.cpp but "
+            "not documented in README.md"
+        )
+
+
+# ---- check 4: raw std synchronization outside util/sync.hpp -----------
 
 BANNED_RE = re.compile(
     r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
@@ -205,6 +225,7 @@ def main() -> int:
     errors: list[str] = []
     check_metrics(errors)
     check_protocol_ops(errors)
+    check_protocol_docs(errors)
     check_sync_layer(errors)
     if errors:
         for err in errors:
@@ -212,7 +233,7 @@ def main() -> int:
         print(f"\n{len(errors)} invariant violation(s).")
         return 1
     print("lint_invariants: all invariants hold "
-          "(metrics-docs, protocol-ops, sync-layer).")
+          "(metrics-docs, protocol-ops, protocol-docs, sync-layer).")
     return 0
 
 
