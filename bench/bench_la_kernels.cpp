@@ -1,0 +1,169 @@
+// bench_la_kernels — ctest-registered BENCH-JSON smoke over the dense
+// kernel substrate on the shapes the solver actually uses (the same
+// grid as the optional gbench harness micro_la_kernels.cpp, but
+// self-contained so it runs in every CI build):
+//
+//   - d x d complex Hessenberg eigensolve, d = 30/60/90 (one per
+//     Arnoldi restart);
+//   - p x p complex singular values, p = 18/56/83 (passivity sampling);
+//   - 2p x 2p complex LU factor + fused multi-RHS solve (the SMW
+//     kernel), with a correctness check of solve_many against the
+//     column-wise solve;
+//   - gemm on residue-matrix shapes.
+//
+// Prints one BENCH JSON line per shape; exits non-zero if any
+// correctness expectation fails.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "phes/la/blas.hpp"
+#include "phes/la/eig.hpp"
+#include "phes/la/lu.hpp"
+#include "phes/la/svd.hpp"
+#include "phes/util/rng.hpp"
+#include "phes/util/timer.hpp"
+
+namespace {
+
+using namespace phes;
+
+int failures = 0;
+
+void expect(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what);
+    ++failures;
+  }
+}
+
+la::ComplexMatrix random_complex(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  la::ComplexMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      m(i, j) = la::Complex(rng.normal(), rng.normal());
+    }
+  }
+  return m;
+}
+
+la::RealMatrix random_real(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  la::RealMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = rng.normal();
+  }
+  return m;
+}
+
+/// Best-of-reps wall time of `body` in seconds.
+template <typename F>
+double best_seconds(int reps, F&& body) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    util::WallTimer t;
+    body();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  // Ritz problem: projected Hessenberg eigensolve per Arnoldi restart.
+  for (const std::size_t d : {30u, 60u, 90u}) {
+    la::ComplexMatrix h = random_complex(d, 1);
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = 0; j + 1 < i; ++j) h(i, j) = la::Complex{};
+    }
+    std::size_t values = 0;
+    const double sec = best_seconds(3, [&] {
+      const auto eig = la::hessenberg_eig(h, true);
+      values = eig.values.size();
+    });
+    expect(values == d, "hessenberg_eig returns d eigenvalues");
+    std::printf(
+        "BENCH {\"bench\":\"la_kernels\",\"kernel\":\"hessenberg_eig\","
+        "\"d\":%zu,\"seconds\":%.6f}\n",
+        d, sec);
+  }
+
+  // Passivity sampling: p x p complex singular values.
+  for (const std::size_t p : {18u, 56u, 83u}) {
+    const la::ComplexMatrix h = random_complex(p, 2);
+    double sigma_max = 0.0;
+    const double sec = best_seconds(3, [&] {
+      const auto sigma = la::complex_singular_values(h);
+      sigma_max = sigma.empty() ? 0.0 : sigma.front();
+    });
+    expect(std::isfinite(sigma_max) && sigma_max > 0.0,
+           "singular values are finite and positive");
+    std::printf(
+        "BENCH {\"bench\":\"la_kernels\",\"kernel\":\"complex_svd\","
+        "\"p\":%zu,\"seconds\":%.6f}\n",
+        p, sec);
+  }
+
+  // SMW kernel: 2p x 2p complex LU factor + fused multi-RHS solve.
+  for (const std::size_t p : {18u, 56u, 83u}) {
+    la::ComplexMatrix k = random_complex(2 * p, 3);
+    for (std::size_t i = 0; i < 2 * p; ++i) {
+      k(i, i) += la::Complex(6.0, 0.0);
+    }
+    const double factor_sec = best_seconds(3, [&] {
+      const la::LuFactorization<la::Complex> lu(k);
+      (void)lu;
+    });
+    const la::LuFactorization<la::Complex> lu(k);
+    la::ComplexMatrix b(2 * p, 4);
+    util::Rng rng(4);
+    for (std::size_t i = 0; i < 2 * p; ++i) {
+      for (std::size_t c = 0; c < 4; ++c) {
+        b(i, c) = la::Complex(rng.normal(), rng.normal());
+      }
+    }
+    la::ComplexMatrix x(1, 1);
+    const double solve_sec = best_seconds(5, [&] { x = lu.solve_many(b); });
+    // solve_many must be bit-identical to the column-wise solve.
+    bool identical = true;
+    for (std::size_t c = 0; c < 4; ++c) {
+      la::ComplexVector col(2 * p);
+      for (std::size_t i = 0; i < 2 * p; ++i) col[i] = b(i, c);
+      const la::ComplexVector ref = lu.solve(col);
+      for (std::size_t i = 0; i < 2 * p; ++i) {
+        if (x(i, c) != ref[i]) identical = false;
+      }
+    }
+    expect(identical, "solve_many is bit-identical to column solves");
+    std::printf(
+        "BENCH {\"bench\":\"la_kernels\",\"kernel\":\"smw_lu\","
+        "\"p\":%zu,\"factor_seconds\":%.6f,\"solve4_seconds\":%.6f}\n",
+        p, factor_sec, solve_sec);
+  }
+
+  // gemm on residue-matrix shapes.
+  for (const std::size_t n : {64u, 128u, 256u}) {
+    const la::RealMatrix a = random_real(n, 5);
+    const la::RealMatrix b = random_real(n, 6);
+    double check = 0.0;
+    const double sec = best_seconds(3, [&] {
+      const auto c = la::gemm(a, b);
+      check = c(0, 0);
+    });
+    expect(std::isfinite(check), "gemm result is finite");
+    std::printf(
+        "BENCH {\"bench\":\"la_kernels\",\"kernel\":\"gemm\","
+        "\"n\":%zu,\"seconds\":%.6f}\n",
+        n, sec);
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "%d kernel expectation(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("la kernel smokes hold\n");
+  return 0;
+}

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "phes/hamiltonian/operators.hpp"
+#include "phes/la/kernels.hpp"
 #include "phes/la/matrix.hpp"
 #include "phes/la/types.hpp"
 #include "phes/util/rng.hpp"
@@ -43,10 +44,19 @@ struct RitzPair {
 /// Run `d` Arnoldi steps from start vector v0 (need not be normalized).
 /// `locked` vectors are deflated: the basis is kept orthogonal to them.
 /// Throws std::invalid_argument on dimension mismatches.
+///
+/// `backend` selects the orthogonalization kernel: kReference keeps the
+/// original modified Gram-Schmidt pass (vector-at-a-time, immediate
+/// subtraction) bit for bit; kTuned uses blocked classical Gram-Schmidt
+/// with a full reorthogonalization pass (CGS2) — all projections
+/// against the un-updated w are computed with the row-paired
+/// multi-accumulator dot kernels, then subtracted en bloc.  Both run
+/// two passes ("twice is enough") and agree to rounding.
 [[nodiscard]] ArnoldiResult arnoldi(
     const hamiltonian::ComplexLinearOperator& op,
     std::span<const Complex> v0, std::size_t d,
-    std::span<const ComplexVector> locked);
+    std::span<const ComplexVector> locked,
+    la::KernelBackend backend = la::KernelBackend::kTuned);
 
 /// Ritz pairs of an Arnoldi result, sorted by descending |value|
 /// (for shift-inverted operators this is ascending distance from the

@@ -23,7 +23,9 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
+#include "phes/la/kernels.hpp"
 #include "phes/la/lu.hpp"
 #include "phes/hamiltonian/operators.hpp"
 #include "phes/macromodel/simo_realization.hpp"
@@ -48,8 +50,17 @@ class SmwShiftInvertOp final : public ComplexLinearOperator {
   /// Keeps a reference to `realization` (caller guarantees lifetime).
   /// Throws std::runtime_error if theta is (numerically) an eigenvalue
   /// of M, making K singular; callers nudge the shift and retry.
+  ///
+  /// `backend` selects the per-apply compute substrate: kReference
+  /// reproduces the original apply loops bit for bit; kTuned replaces
+  /// the per-apply pole-block divisions with resolvent multiplier
+  /// tables frozen at theta (every (A - theta I)^{-1} /
+  /// -(A^T + theta I)^{-1} block collapses to a precomputed uniform
+  /// 2x2 rotation), and runs the dense C / C^T products on split
+  /// real/imag planes.
   SmwShiftInvertOp(const macromodel::SimoRealization& realization,
-                   Complex theta);
+                   Complex theta,
+                   la::KernelBackend backend = la::KernelBackend::kTuned);
 
   [[nodiscard]] std::size_t dim() const noexcept override {
     return 2 * realization_.order();
@@ -57,13 +68,35 @@ class SmwShiftInvertOp final : public ComplexLinearOperator {
 
   [[nodiscard]] Complex shift() const noexcept { return theta_; }
 
+  [[nodiscard]] la::KernelBackend backend() const noexcept {
+    return backend_;
+  }
+
   void apply(std::span<const Complex> x,
              std::span<Complex> y) const override;
 
  private:
+  /// Frozen resolvent multipliers for one pole block at shift theta.
+  /// Pairs apply as  y1 = c11 x1 + c12 x2,  y2 = -c12 x1 + c11 x2;
+  /// singles as  y = c11 x.  Both resolvent directions (and the
+  /// negation of the lower half) fold into this one form.
+  struct TableBlock {
+    std::size_t state = 0;
+    bool is_pair = false;
+    Complex c11{};
+    Complex c12{};
+  };
+
+  void apply_reference(std::span<const Complex> x,
+                       std::span<Complex> y) const;
+  void apply_tuned(std::span<const Complex> x, std::span<Complex> y) const;
+
   const macromodel::SimoRealization& realization_;
   Complex theta_;
+  la::KernelBackend backend_;
   std::unique_ptr<la::LuFactorization<Complex>> k_lu_;  ///< 2p x 2p kernel
+  std::vector<TableBlock> p_table_;  ///< (A - theta I)^{-1}      (tuned)
+  std::vector<TableBlock> q_table_;  ///< -(A^T + theta I)^{-1}   (tuned)
 };
 
 }  // namespace phes::hamiltonian

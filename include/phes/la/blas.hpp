@@ -7,6 +7,7 @@
 #include <cmath>
 #include <complex>
 #include <cstddef>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -23,6 +24,30 @@ inline double abs_sq(const Complex& x) noexcept { return std::norm(x); }
 /// Conjugation helper: identity for reals.
 inline double conj_of(double x) noexcept { return x; }
 inline Complex conj_of(const Complex& x) noexcept { return std::conj(x); }
+
+/// Scaled sum-of-squares update (LAPACK dlassq): folds |a| into the
+/// running representation  scale^2 * ssq  without squaring a directly,
+/// so entries near DBL_MAX / DBL_MIN neither overflow nor vanish.
+inline void scaled_ssq(double a, double& scale, double& ssq) noexcept {
+  a = std::abs(a);
+  if (a == 0.0) return;
+  if (scale < a) {
+    const double r = scale / a;
+    ssq = 1.0 + ssq * r * r;
+    scale = a;
+  } else {
+    const double r = a / scale;
+    ssq += r * r;
+  }
+}
+inline void scaled_ssq_of(double v, double& scale, double& ssq) noexcept {
+  scaled_ssq(v, scale, ssq);
+}
+inline void scaled_ssq_of(const Complex& v, double& scale,
+                          double& ssq) noexcept {
+  scaled_ssq(v.real(), scale, ssq);
+  scaled_ssq(v.imag(), scale, ssq);
+}
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
@@ -54,12 +79,23 @@ template <typename T>
   return acc;
 }
 
-/// Euclidean norm.
+/// Euclidean norm.  The fast path is the naive sum of squares
+/// (bit-identical to the historical kernel whenever it lands in the
+/// normal range); when that sum overflows to inf or underflows below
+/// the smallest normal, a scaled (hypot-style) pass recovers the norm
+/// of vectors with entries near DBL_MAX / DBL_MIN.
 template <typename T>
 [[nodiscard]] double nrm2(std::span<const T> x) noexcept {
   double acc = 0.0;
   for (const auto& v : x) acc += detail::abs_sq(v);
-  return std::sqrt(acc);
+  if (acc >= std::numeric_limits<double>::min() && std::isfinite(acc)) {
+    return std::sqrt(acc);
+  }
+  // Rescue pass: acc overflowed, or is denormal/zero (which cannot
+  // distinguish a zero vector from one whose squares underflowed).
+  double scale = 0.0, ssq = 1.0;
+  for (const auto& v : x) detail::scaled_ssq_of(v, scale, ssq);
+  return scale * std::sqrt(ssq);
 }
 
 /// Infinity norm of a vector.
@@ -74,31 +110,67 @@ template <typename T>
 // Level 2: matrix-vector products
 // ---------------------------------------------------------------------------
 
-/// y = A x
+/// y = A x.  Rows are processed two at a time so each load of x feeds
+/// two dot products; every row keeps one accumulator traversed in
+/// ascending j, so results are bit-identical to the plain row loop.
 template <typename T>
 [[nodiscard]] std::vector<T> gemv(const Matrix<T>& a,
                                   std::span<const T> x) {
   util::check(a.cols() == x.size(), "gemv: shape mismatch");
-  std::vector<T> y(a.rows(), T{});
-  for (std::size_t i = 0; i < a.rows(); ++i) {
+  const std::size_t m = a.rows(), n = a.cols();
+  std::vector<T> y(m, T{});
+  std::size_t i = 0;
+  for (; i + 2 <= m; i += 2) {
+    const T* r0 = a.row_ptr(i);
+    const T* r1 = a.row_ptr(i + 1);
+    T acc0{}, acc1{};
+    for (std::size_t j = 0; j < n; ++j) {
+      const T xj = x[j];
+      acc0 += r0[j] * xj;
+      acc1 += r1[j] * xj;
+    }
+    y[i] = acc0;
+    y[i + 1] = acc1;
+  }
+  if (i < m) {
     const T* row = a.row_ptr(i);
     T acc{};
-    for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
+    for (std::size_t j = 0; j < n; ++j) acc += row[j] * x[j];
     y[i] = acc;
   }
   return y;
 }
 
-/// y = A^T x (real) — column-oriented traversal of the row-major store.
+/// y = A^T x — column-oriented traversal of the row-major store.
+/// NOTE: this is the plain transpose for every scalar type.  For
+/// Complex it does NOT conjugate A (dotu-style semantics, BLAS geru /
+/// "gemv with trans='T'"); use `dot` when the conjugated product x^H y
+/// is intended.  Rows are paired so each pass over y absorbs two
+/// updates; within each y[j] the adds stay in ascending i order, so
+/// results are bit-identical to the plain loop.
 template <typename T>
 [[nodiscard]] std::vector<T> gemv_transposed(const Matrix<T>& a,
                                              std::span<const T> x) {
   util::check(a.rows() == x.size(), "gemv_transposed: shape mismatch");
-  std::vector<T> y(a.cols(), T{});
-  for (std::size_t i = 0; i < a.rows(); ++i) {
+  const std::size_t m = a.rows(), n = a.cols();
+  std::vector<T> y(n, T{});
+  std::size_t i = 0;
+  for (; i + 2 <= m; i += 2) {
+    const T* r0 = a.row_ptr(i);
+    const T* r1 = a.row_ptr(i + 1);
+    const T x0 = x[i];
+    const T x1 = x[i + 1];
+    for (std::size_t j = 0; j < n; ++j) {
+      T acc = y[j];
+      acc += r0[j] * x0;
+      acc += r1[j] * x1;
+      y[j] = acc;
+    }
+  }
+  if (i < m) {
     const T* row = a.row_ptr(i);
     const T xi = x[i];
-    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += row[j] * xi;
+    for (std::size_t j = 0; j < n; ++j) y[j] += row[j] * xi;
   }
   return y;
 }

@@ -1,5 +1,7 @@
 #include "phes/hamiltonian/implicit_op.hpp"
 
+#include <vector>
+
 #include "phes/la/blas.hpp"
 #include "phes/la/svd.hpp"
 #include "phes/util/check.hpp"
@@ -17,7 +19,7 @@ la::RealMatrix gram_minus_identity(const la::RealMatrix& d, bool transpose_first
 }
 
 // Solve with a real LU against a complex right-hand side by splitting
-// real and imaginary parts.
+// real and imaginary parts (reference path: two independent solves).
 la::ComplexVector solve_real_lu(const la::LuFactorization<double>& lu,
                                 std::span<const la::Complex> rhs) {
   la::RealVector re(rhs.size()), im(rhs.size());
@@ -37,11 +39,13 @@ la::ComplexVector solve_real_lu(const la::LuFactorization<double>& lu,
 }  // namespace
 
 ImplicitHamiltonianOp::ImplicitHamiltonianOp(
-    const macromodel::SimoRealization& realization)
+    const macromodel::SimoRealization& realization,
+    la::KernelBackend backend)
     : realization_(realization),
       r_lu_(gram_minus_identity(realization.d(), true)),
       s_lu_(gram_minus_identity(realization.d(), false)),
-      d_(realization.d()) {
+      d_(realization.d()),
+      backend_(backend) {
   const auto sigma_d = la::real_singular_values(d_);
   util::check(sigma_d.empty() || sigma_d.front() < 1.0,
               "ImplicitHamiltonianOp: requires sigma_max(D) < 1");
@@ -49,6 +53,15 @@ ImplicitHamiltonianOp::ImplicitHamiltonianOp(
 
 void ImplicitHamiltonianOp::apply(std::span<const Complex> x,
                                   std::span<Complex> y) const {
+  if (backend_ == la::KernelBackend::kReference) {
+    apply_reference(x, y);
+  } else {
+    apply_tuned(x, y);
+  }
+}
+
+void ImplicitHamiltonianOp::apply_reference(std::span<const Complex> x,
+                                            std::span<Complex> y) const {
   const std::size_t n = realization_.order();
   const std::size_t p = realization_.ports();
   util::check(x.size() == 2 * n && y.size() == 2 * n,
@@ -92,6 +105,119 @@ void ImplicitHamiltonianOp::apply(std::span<const Complex> x,
   la::ComplexVector atx2(n);
   realization_.apply_at<Complex>(x2, atx2);
   for (std::size_t i = 0; i < n; ++i) y2[i] = ctw[i] - atx2[i];
+}
+
+// Tuned path.  Same math as apply_reference, restructured around the
+// J-symmetry of the Hamiltonian halves:
+//   - the dense C / C^T products run on split real/imag planes
+//     (contiguous double loops instead of interleaved complex);
+//   - R^{-1} is applied ONCE to the 4-plane block [D^T u + v | v] and
+//     S^{-1} once to [u] via the fused multi-RHS LU solve, instead of
+//     six independent triangular-solve passes;
+//   - the A x1 and A^T x2 block traversals (and the B t subtraction)
+//     are fused into one sweep over the pole blocks shared by y1/y2.
+void ImplicitHamiltonianOp::apply_tuned(std::span<const Complex> x,
+                                        std::span<Complex> y) const {
+  const std::size_t n = realization_.order();
+  const std::size_t p = realization_.ports();
+  util::check(x.size() == 2 * n && y.size() == 2 * n,
+              "ImplicitHamiltonianOp::apply: size mismatch");
+  const auto x1 = x.subspan(0, n);
+  const auto x2 = x.subspan(n, n);
+  auto y1 = y.subspan(0, n);
+  auto y2 = y.subspan(n, n);
+
+  // Per-thread scratch: the operator is shared const across solver
+  // threads, and the planes would otherwise cost six allocations per
+  // apply.
+  thread_local std::vector<double> plane_scratch;
+  thread_local std::vector<double> port_scratch;
+  plane_scratch.resize(4 * n);
+  port_scratch.resize(8 * p);
+  double* x1re = plane_scratch.data();
+  double* x1im = x1re + n;
+  double* ctwre = x1im + n;
+  double* ctwim = ctwre + n;
+  double* ure = port_scratch.data();
+  double* uim = ure + p;
+  double* vre = uim + p;
+  double* vim = vre + p;
+  double* dture = vim + p;
+  double* dtuim = dture + p;
+  double* wre = dtuim + p;
+  double* wim = wre + p;
+
+  const double* c = realization_.c().row_ptr(0);
+  const double* d = d_.row_ptr(0);
+
+  // u = C x1 on split planes; v = B^T x2 (block scatter, O(n)).
+  la::kernels::split_planes(x1.data(), n, x1re, x1im);
+  la::kernels::gemv_planes(c, p, n, x1re, x1im, ure, uim);
+  for (std::size_t i = 0; i < p; ++i) {
+    vre[i] = 0.0;
+    vim[i] = 0.0;
+  }
+  for (const auto& blk : realization_.blocks()) {
+    vre[blk.column] += x2[blk.state].real();
+    vim[blk.column] += x2[blk.state].imag();
+  }
+
+  // dtu = D^T u + v.
+  la::kernels::gemv_t_planes(d, p, p, ure, uim, dture, dtuim);
+  for (std::size_t i = 0; i < p; ++i) {
+    dture[i] += vre[i];
+    dtuim[i] += vim[i];
+  }
+
+  // One fused solve each:  R^{-1} [dtu | v]  and  S^{-1} [u], four and
+  // two real planes per LU sweep.
+  la::RealMatrix r_rhs(p, 4);
+  la::RealMatrix s_rhs(p, 2);
+  for (std::size_t i = 0; i < p; ++i) {
+    double* rr = r_rhs.row_ptr(i);
+    rr[0] = dture[i];
+    rr[1] = dtuim[i];
+    rr[2] = vre[i];
+    rr[3] = vim[i];
+    double* sr = s_rhs.row_ptr(i);
+    sr[0] = ure[i];
+    sr[1] = uim[i];
+  }
+  const la::RealMatrix r_sol = r_lu_.solve_many(r_rhs);   // [t | R^{-1}v]
+  const la::RealMatrix s_sol = s_lu_.solve_many(s_rhs);   // S^{-1}u
+
+  // w = S^{-1} u + D R^{-1} v.
+  for (std::size_t i = 0; i < p; ++i) {
+    vre[i] = r_sol(i, 2);  // reuse the v planes for R^{-1} v
+    vim[i] = r_sol(i, 3);
+  }
+  la::kernels::gemv_planes(d, p, p, vre, vim, wre, wim);
+  for (std::size_t i = 0; i < p; ++i) {
+    wre[i] += s_sol(i, 0);
+    wim[i] += s_sol(i, 1);
+  }
+
+  // ctw = C^T w on split planes.
+  la::kernels::gemv_t_planes(c, p, n, wre, wim, ctwre, ctwim);
+
+  // Fused block sweep:  y1 = A x1 - B t,  y2 = C^T w - A^T x2.
+  for (const auto& blk : realization_.blocks()) {
+    const std::size_t s = blk.state;
+    const Complex t_col(r_sol(blk.column, 0), r_sol(blk.column, 1));
+    if (blk.is_pair) {
+      const Complex xa = x1[s], xb = x1[s + 1];
+      y1[s] = blk.alpha * xa + blk.beta * xb - t_col;
+      y1[s + 1] = -blk.beta * xa + blk.alpha * xb;
+      const Complex za = x2[s], zb = x2[s + 1];
+      y2[s] = Complex(ctwre[s], ctwim[s]) -
+              (blk.alpha * za - blk.beta * zb);
+      y2[s + 1] = Complex(ctwre[s + 1], ctwim[s + 1]) -
+                  (blk.beta * za + blk.alpha * zb);
+    } else {
+      y1[s] = blk.alpha * x1[s] - t_col;
+      y2[s] = Complex(ctwre[s], ctwim[s]) - blk.alpha * x2[s];
+    }
+  }
 }
 
 }  // namespace phes::hamiltonian

@@ -5,11 +5,28 @@ namespace phes::la {
 ComplexVector gemv_real_complex(const RealMatrix& a,
                                 std::span<const Complex> x) {
   util::check(a.cols() == x.size(), "gemv_real_complex: shape mismatch");
-  ComplexVector y(a.rows(), Complex{});
-  for (std::size_t i = 0; i < a.rows(); ++i) {
+  const std::size_t m = a.rows(), n = a.cols();
+  ComplexVector y(m, Complex{});
+  // Row pairs share each load of x; per-row accumulation order is
+  // unchanged (ascending j, one accumulator), so results stay
+  // bit-identical to the plain row loop.
+  std::size_t i = 0;
+  for (; i + 2 <= m; i += 2) {
+    const Real* r0 = a.row_ptr(i);
+    const Real* r1 = a.row_ptr(i + 1);
+    Complex acc0{}, acc1{};
+    for (std::size_t j = 0; j < n; ++j) {
+      const Complex xj = x[j];
+      acc0 += r0[j] * xj;
+      acc1 += r1[j] * xj;
+    }
+    y[i] = acc0;
+    y[i + 1] = acc1;
+  }
+  if (i < m) {
     const Real* row = a.row_ptr(i);
     Complex acc{};
-    for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
+    for (std::size_t j = 0; j < n; ++j) acc += row[j] * x[j];
     y[i] = acc;
   }
   return y;
@@ -19,11 +36,27 @@ ComplexVector gemv_transposed_real_complex(const RealMatrix& a,
                                            std::span<const Complex> x) {
   util::check(a.rows() == x.size(),
               "gemv_transposed_real_complex: shape mismatch");
-  ComplexVector y(a.cols(), Complex{});
-  for (std::size_t i = 0; i < a.rows(); ++i) {
+  const std::size_t m = a.rows(), n = a.cols();
+  ComplexVector y(n, Complex{});
+  // Row pairs halve the passes over y; the adds into each y[j] keep
+  // ascending i order, so results stay bit-identical.
+  std::size_t i = 0;
+  for (; i + 2 <= m; i += 2) {
+    const Real* r0 = a.row_ptr(i);
+    const Real* r1 = a.row_ptr(i + 1);
+    const Complex x0 = x[i];
+    const Complex x1 = x[i + 1];
+    for (std::size_t j = 0; j < n; ++j) {
+      Complex acc = y[j];
+      acc += r0[j] * x0;
+      acc += r1[j] * x1;
+      y[j] = acc;
+    }
+  }
+  if (i < m) {
     const Real* row = a.row_ptr(i);
     const Complex xi = x[i];
-    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += row[j] * xi;
+    for (std::size_t j = 0; j < n; ++j) y[j] += row[j] * xi;
   }
   return y;
 }

@@ -19,6 +19,11 @@ Checks (each failure is one line on stdout; exit 1 if any fired):
                     util/sync.hpp: every mutex in the tree must be a
                     phes::util one so the thread-safety analysis sees
                     it.  (See README "Static analysis".)
+  5. kernel-flag    Every `--kernel*` CLI flag accepted by the pipeline
+                    binary is evidenced on the wire (a "kernel" job
+                    option parsed in protocol.cpp) and documented in
+                    README.md, so a backend knob cannot exist that the
+                    replay A/B machinery and the docs don't know about.
 
 Run from anywhere: paths resolve relative to this file's repo root.
 """
@@ -221,19 +226,52 @@ def check_sync_layer(errors: list[str]) -> None:
                     )
 
 
+# ---- check 5: kernel CLI flags vs protocol + README -------------------
+
+KERNEL_FLAG_RE = re.compile(r'"(--kernel[a-z-]*)"')
+
+
+def check_kernel_flag(errors: list[str]) -> None:
+    client = (ROOT / "examples/phes_pipeline.cpp").read_text(encoding="utf-8")
+    flags = sorted(set(KERNEL_FLAG_RE.findall(client)))
+    if not flags:
+        errors.append(
+            "kernel-flag: no --kernel flag found in "
+            "examples/phes_pipeline.cpp (extraction pattern broke?)"
+        )
+        return
+    protocol = (ROOT / "src/server/protocol.cpp").read_text(encoding="utf-8")
+    readme = (ROOT / "README.md").read_text(encoding="utf-8")
+    for flag in flags:
+        option = flag.removeprefix("--").replace("-", "_")
+        if f'"{option}"' not in protocol:
+            errors.append(
+                f"kernel-flag: CLI flag '{flag}' has no matching "
+                f"'\"{option}\"' job option in src/server/protocol.cpp — "
+                "the backend knob would be invisible to replay A/B"
+            )
+        if f"`{flag}`" not in readme and flag not in readme:
+            errors.append(
+                f"kernel-flag: CLI flag '{flag}' is not documented in "
+                "README.md"
+            )
+
+
 def main() -> int:
     errors: list[str] = []
     check_metrics(errors)
     check_protocol_ops(errors)
     check_protocol_docs(errors)
     check_sync_layer(errors)
+    check_kernel_flag(errors)
     if errors:
         for err in errors:
             print(err)
         print(f"\n{len(errors)} invariant violation(s).")
         return 1
     print("lint_invariants: all invariants hold "
-          "(metrics-docs, protocol-ops, protocol-docs, sync-layer).")
+          "(metrics-docs, protocol-ops, protocol-docs, sync-layer, "
+          "kernel-flag).")
     return 0
 
 
